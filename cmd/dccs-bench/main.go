@@ -1,0 +1,47 @@
+// Command dccs-bench regenerates the tables and figures of the paper's
+// evaluation section (§VI) on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	dccs-bench -fig all            # every figure (12–32)
+//	dccs-bench -fig 14             # one figure
+//	dccs-bench -fig 29 -scale 1    # dataset scale factor for the 4 large graphs
+//	dccs-bench -quick              # trimmed grids + small datasets (smoke run)
+//	dccs-bench -out ./out          # directory for artifacts (Fig 31 DOT file)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure number (12–32) or \"all\"")
+	scale := flag.Float64("scale", 1.0, "scale factor for the four large synthetic datasets")
+	seed := flag.Int64("seed", 1, "random seed for datasets and algorithms")
+	quick := flag.Bool("quick", false, "trimmed parameter grids and small datasets")
+	out := flag.String("out", "", "directory for artifact files (empty = no artifacts)")
+	flag.Parse()
+
+	s := &bench.Suite{Scale: *scale, Seed: *seed, Quick: *quick, OutDir: *out, W: os.Stdout}
+	var err error
+	if *fig == "all" {
+		err = s.RunAll()
+	} else {
+		var n int
+		n, err = strconv.Atoi(*fig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dccs-bench: invalid -fig %q\n", *fig)
+			os.Exit(2)
+		}
+		err = s.Run(n)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dccs-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

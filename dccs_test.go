@@ -1,0 +1,135 @@
+package dccs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+func exampleGraph(t testing.TB) *Graph {
+	t.Helper()
+	g, _ := datasets.FourLayerExample()
+	return g
+}
+
+func TestSearchPicksAlgorithm(t *testing.T) {
+	g := exampleGraph(t) // l = 4
+	// s = 1 < l/2 → bottom-up; s = 3 ≥ l/2 → top-down. Both must succeed
+	// and produce valid covers.
+	small, err := Search(g, Options{D: 3, S: 1, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Search(g, Options{D: 3, S: 3, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.CoverSize < large.CoverSize {
+		t.Fatalf("coverage must shrink as s grows (Property 3): %d < %d",
+			small.CoverSize, large.CoverSize)
+	}
+}
+
+func TestPublicAPIWorkedExample(t *testing.T) {
+	g := exampleGraph(t)
+	opts := Options{D: 3, S: 2, K: 2}
+	for name, algo := range map[string]func(*Graph, Options) (*Result, error){
+		"Greedy": Greedy, "BottomUp": BottomUp, "TopDown": TopDown, "Search": Search,
+	} {
+		res, err := algo(g, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.CoverSize != 13 {
+			t.Errorf("%s: CoverSize = %d, want 13", name, res.CoverSize)
+		}
+	}
+}
+
+func TestCoherentCore(t *testing.T) {
+	g := exampleGraph(t)
+	got, err := CoherentCore(g, []int{0, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 11, 12}
+	if len(got) != len(want) {
+		t.Fatalf("CoherentCore = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CoherentCore = %v, want %v", got, want)
+		}
+	}
+	if _, err := CoherentCore(g, []int{9}, 3); err == nil {
+		t.Error("layer out of range accepted")
+	}
+	if _, err := CoherentCore(g, nil, 3); err == nil {
+		t.Error("empty layer set accepted")
+	}
+	if _, err := CoherentCore(g, []int{0}, 0); err == nil {
+		t.Error("d = 0 accepted")
+	}
+	if _, err := CoherentCore(nil, []int{0}, 1); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestCoreness(t *testing.T) {
+	g := exampleGraph(t)
+	cn, err := Coreness(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 9-vertex block is 4-regular on layer 0 → coreness 4.
+	for v := 0; v < 9; v++ {
+		if cn[v] != 4 {
+			t.Errorf("coreness[%d] = %d, want 4", v, cn[v])
+		}
+	}
+	if _, err := Coreness(g, -1); err == nil {
+		t.Error("negative layer accepted")
+	}
+	if _, err := Coreness(nil, 0); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestReadGraphRoundTrip(t *testing.T) {
+	in := "mlg 3 2\n0 0 1\n1 1 2\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.L() != 2 {
+		t.Fatalf("parsed %dx%d", g.N(), g.L())
+	}
+	if _, err := ReadGraph(strings.NewReader("junk")); err == nil {
+		t.Error("malformed input accepted")
+	}
+}
+
+func TestSearchValidates(t *testing.T) {
+	g := exampleGraph(t)
+	if _, err := Search(g, Options{D: 0, S: 1, K: 1}); err == nil {
+		t.Error("invalid options accepted")
+	}
+	if _, err := Search(nil, Options{D: 1, S: 1, K: 1}); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	ds := datasets.PPI(1)
+	res, err := BottomUp(ds.Graph, Options{D: 3, S: 3, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TreeNodes == 0 || res.Stats.DCCCalls == 0 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+	if res.Stats.Elapsed <= 0 {
+		t.Errorf("Elapsed not set")
+	}
+}

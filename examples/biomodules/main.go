@@ -1,0 +1,88 @@
+// Biological module discovery (the paper's Application 1).
+//
+// A multi-layer protein-protein interaction network has one layer per
+// detection method; interactions observed by a single method are often
+// spurious. A vertex group forming a dense subgraph on several layers at
+// once — a d-coherent core with support s — is a reliable module
+// candidate. This example mines diversified d-CCs on the synthetic PPI
+// stand-in (which plants ground-truth complexes) and measures how many
+// planted complexes each parameter setting recovers, mirroring the
+// paper's Fig 32 protocol.
+//
+// Run with:
+//
+//	go run ./examples/biomodules
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dccs "repro"
+	"repro/internal/datasets"
+)
+
+func main() {
+	ds := datasets.PPI(42)
+	g := ds.Graph
+	st := g.Stats()
+	fmt.Printf("PPI network: %d proteins, %d detection methods (layers), %d interactions\n",
+		st.N, st.Layers, st.TotalEdges)
+	fmt.Printf("ground truth: %d planted complexes\n\n", len(ds.Communities))
+
+	s := g.L() / 2 // interactions must recur on half the methods
+	fmt.Printf("%-4s %-8s %-10s %-14s %-16s\n", "d", "cores", "cover", "time", "complexes found")
+	for d := 2; d <= 5; d++ {
+		res, err := dccs.Search(g, dccs.Options{D: d, S: s, K: 10, Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		found := complexesFound(ds, res)
+		fmt.Printf("%-4d %-8d %-10d %-14v %d/%d (%.0f%%)\n",
+			d, len(res.Cores), res.CoverSize, res.Stats.Elapsed.Round(1000),
+			found, len(ds.Communities), 100*float64(found)/float64(len(ds.Communities)))
+	}
+
+	// Show the strongest module at d=4 together with the layers
+	// (detection methods) supporting it.
+	res, err := dccs.Search(g, dccs.Options{D: 4, S: s, K: 10, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := 0
+	for i, c := range res.Cores {
+		if len(c.Vertices) > len(res.Cores[best].Vertices) {
+			best = i
+		}
+	}
+	c := res.Cores[best]
+	fmt.Printf("\nlargest module at d=4: %d proteins, coherent on methods %v\n",
+		len(c.Vertices), c.Layers)
+	fmt.Printf("members: %v\n", c.Vertices)
+}
+
+// complexesFound counts planted complexes entirely contained in one of
+// the result cores (the paper's "found" criterion).
+func complexesFound(ds *datasets.Dataset, res *dccs.Result) int {
+	found := 0
+	for _, complex := range ds.Communities {
+		for _, core := range res.Cores {
+			members := map[int]bool{}
+			for _, v := range core.Vertices {
+				members[int(v)] = true
+			}
+			all := true
+			for _, v := range complex.Vertices {
+				if !members[v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				found++
+				break
+			}
+		}
+	}
+	return found
+}

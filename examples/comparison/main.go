@@ -1,0 +1,108 @@
+// Algorithm comparison: the three DCCS algorithms against the
+// quasi-clique baseline on the Author co-authorship stand-in, the
+// protocol behind the paper's Figs 29–31.
+//
+// The d-CC approach finds large coherent communities in milliseconds by
+// searching the 2^l layer-subset space; the quasi-clique baseline
+// searches the 2^|V| vertex-subset space and returns many small,
+// microscopic clusters. The example prints both result shapes and the
+// precision/recall between the covered vertex sets.
+//
+// Run with:
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dccs "repro"
+	"repro/internal/datasets"
+	"repro/internal/mimag"
+)
+
+func main() {
+	ds := datasets.Author(42)
+	g := ds.Graph
+	st := g.Stats()
+	fmt.Printf("Author network: %d authors, %d years (layers), %d collaborations\n\n",
+		st.N, st.Layers, st.TotalEdges)
+
+	d, s, k := 3, g.L()/2, 10
+
+	// The three DCCS algorithms.
+	fmt.Printf("%-10s %-12s %-8s %-10s %-12s %s\n",
+		"algorithm", "time", "cover", "cores", "tree nodes", "largest core")
+	type run struct {
+		name string
+		f    func(*dccs.Graph, dccs.Options) (*dccs.Result, error)
+	}
+	var dccsCover map[int]bool
+	for _, r := range []run{{"greedy", dccs.Greedy}, {"bottom-up", dccs.BottomUp}, {"top-down", dccs.TopDown}} {
+		res, err := r.f(g, dccs.Options{D: d, S: s, K: k, Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		largest := 0
+		for _, c := range res.Cores {
+			if len(c.Vertices) > largest {
+				largest = len(c.Vertices)
+			}
+		}
+		fmt.Printf("%-10s %-12v %-8d %-10d %-12d %d vertices\n",
+			r.name, res.Stats.Elapsed.Round(1000), res.CoverSize, len(res.Cores),
+			res.Stats.TreeNodes, largest)
+		if r.name == "bottom-up" {
+			dccsCover = map[int]bool{}
+			for _, c := range res.Cores {
+				for _, v := range c.Vertices {
+					dccsCover[int(v)] = true
+				}
+			}
+		}
+	}
+
+	// The quasi-clique baseline (γ = 0.8, d′ = d+1, same support).
+	qc, err := mimag.Mine(g, mimag.Options{Gamma: 0.8, MinSize: d + 1, S: s, NodeLimit: 3_000_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	qcCover := map[int]bool{}
+	largest := 0
+	for _, c := range qc.Clusters {
+		if len(c.Vertices) > largest {
+			largest = len(c.Vertices)
+		}
+		for _, v := range c.Vertices {
+			qcCover[int(v)] = true
+		}
+	}
+	trunc := ""
+	if qc.Truncated {
+		trunc = " (node limit hit)"
+	}
+	fmt.Printf("%-10s %-12v %-8d %-10d %-12d %d vertices%s\n",
+		"MiMAG", qc.Elapsed.Round(1000), len(qcCover), len(qc.Clusters), qc.Nodes, largest, trunc)
+
+	// Overlap between the two notions (Fig 29's precision/recall).
+	inter := 0
+	for v := range qcCover {
+		if dccsCover[v] {
+			inter++
+		}
+	}
+	fmt.Printf("\nquasi-clique vertices also covered by d-CCs: %d/%d (%.0f%% recall)\n",
+		inter, len(qcCover), 100*safeDiv(inter, len(qcCover)))
+	fmt.Printf("d-CC vertices also covered by quasi-cliques: %d/%d (%.0f%% precision)\n",
+		inter, len(dccsCover), 100*safeDiv(inter, len(dccsCover)))
+	fmt.Println("\nthe d-CC results are larger and cover most quasi-clique vertices —")
+	fmt.Println("the asymmetry the paper reports in Figs 29–31.")
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

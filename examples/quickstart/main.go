@@ -1,0 +1,79 @@
+// Quickstart: the paper's Fig 1 worked example through the public API.
+//
+// A 4-layer graph with 15 vertices contains a 9-vertex block that is
+// densely connected on every layer, two satellite groups that are dense
+// on layers {0,2} and {1,3} respectively, and a few sparse vertices.
+// With d=3, s=2, k=2 the top-2 diversified 3-CCs recover exactly the two
+// overlapping communities — the result the paper walks through in §II.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dccs "repro"
+	"repro/internal/datasets"
+)
+
+func main() {
+	g, names := datasets.FourLayerExample()
+	st := g.Stats()
+	fmt.Printf("multi-layer graph: %d vertices, %d layers, %d edges (%d distinct)\n\n",
+		st.N, st.Layers, st.TotalEdges, st.UnionEdges)
+
+	// A single coherent core: the maximal set that is 3-dense on both
+	// layer 0 and layer 2.
+	core02, err := dccs.CoherentCore(g, []int{0, 2}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C³ of layers {0,2}: %s\n", nameList(core02, names))
+
+	// The DCCS problem: k=2 diversified 3-CCs over all layer pairs.
+	res, err := dccs.Search(g, dccs.Options{D: 3, S: 2, K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop-2 diversified 3-CCs on 2 layers (cover = %d of %d vertices):\n",
+		res.CoverSize, g.N())
+	for _, c := range res.Cores {
+		vs := make([]int, len(c.Vertices))
+		for i, v := range c.Vertices {
+			vs[i] = int(v)
+		}
+		fmt.Printf("  layers %v: %s\n", c.Layers, nameList(vs, names))
+	}
+
+	// All three algorithms agree on this instance.
+	for _, algo := range []struct {
+		name string
+		run  func(*dccs.Graph, dccs.Options) (*dccs.Result, error)
+	}{
+		{"greedy (1-1/e approx)", dccs.Greedy},
+		{"bottom-up (1/4 approx)", dccs.BottomUp},
+		{"top-down (1/4 approx)", dccs.TopDown},
+	} {
+		r, err := algo.run(g, dccs.Options{D: 3, S: 2, K: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%-24s cover=%d, %d tree nodes, %d dCC calls",
+			algo.name, r.CoverSize, r.Stats.TreeNodes, r.Stats.DCCCalls)
+	}
+	fmt.Println()
+}
+
+func nameList(vs []int, names []string) string {
+	out := ""
+	for i, v := range vs {
+		if i > 0 {
+			out += ","
+		}
+		out += names[v]
+	}
+	return "{" + out + "}"
+}

@@ -1,0 +1,126 @@
+// Story identification in social media (the paper's Application 2).
+//
+// Posts in a time window are abstracted as snapshot graphs: one layer per
+// time slice, vertices are entities (people, places, products), and an
+// edge connects two entities that co-occur in posts of that slice. A
+// "story" is a group of entities strongly associated across several
+// snapshots — a d-coherent core with support s. This example builds a
+// synthetic 12-hour window with three planted stories of different
+// lifetimes plus drifting background chatter, then recovers the stories
+// with the bottom-up DCCS algorithm and shows how the support threshold
+// trades recall for confidence.
+//
+// Run with:
+//
+//	go run ./examples/stories
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dccs "repro"
+	"repro/internal/datasets"
+)
+
+const (
+	entities  = 3000
+	snapshots = 12
+)
+
+func main() {
+	// Three stories: a breaking story alive in hours 2–7, a slow-burn
+	// story alive the whole window, and a flash event in hours 9–11.
+	ds := datasets.Generate(datasets.Config{
+		Name: "window", N: entities, Layers: snapshots, Seed: 7,
+		AvgDegree: 2.0, Gamma: 2.4, Correlation: 0.6,
+		// Planted communities are randomized; we overwrite them below
+		// with handcrafted stories, so plant none here.
+	})
+	g, stories := plantStories(ds)
+
+	st := g.Stats()
+	fmt.Printf("window: %d entities, %d hourly snapshots, %d co-occurrence edges\n\n",
+		st.N, st.Layers, st.TotalEdges)
+	for i, s := range stories {
+		fmt.Printf("planted story %d: %d entities, hours %v\n", i+1, len(s.Vertices), s.Layers)
+	}
+
+	for _, support := range []int{3, 6, 9} {
+		res, err := dccs.BottomUp(g, dccs.Options{D: 3, S: support, K: 5, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nstories recurring in ≥%d of %d snapshots (d=3, k=5): cover=%d, %v\n",
+			support, snapshots, res.CoverSize, res.Stats.Elapsed.Round(1000))
+		for _, c := range res.Cores {
+			if len(c.Vertices) == 0 {
+				continue
+			}
+			fmt.Printf("  snapshot set %v: %d entities%s\n",
+				c.Layers, len(c.Vertices), matchLabel(c, stories))
+		}
+	}
+}
+
+// plantStories rebuilds the graph with three handcrafted stories on top
+// of the generated background.
+func plantStories(ds *datasets.Dataset) (*dccs.Graph, []datasets.Community) {
+	g := ds.Graph
+	b := dccs.NewBuilder(g.N(), g.L())
+	for layer := 0; layer < g.L(); layer++ {
+		for v := 0; v < g.N(); v++ {
+			for _, u := range g.Neighbors(layer, v) {
+				if int(u) > v {
+					b.MustAddEdge(layer, v, int(u))
+				}
+			}
+		}
+	}
+	mk := func(start, n, firstHour, lastHour int) datasets.Community {
+		var c datasets.Community
+		for v := start; v < start+n; v++ {
+			c.Vertices = append(c.Vertices, v)
+		}
+		for h := firstHour; h <= lastHour; h++ {
+			c.Layers = append(c.Layers, h)
+		}
+		for _, h := range c.Layers {
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if (i+j+h)%4 != 0 { // ~75% internal density
+						b.MustAddEdge(h, c.Vertices[i], c.Vertices[j])
+					}
+				}
+			}
+		}
+		return c
+	}
+	stories := []datasets.Community{
+		mk(100, 14, 2, 7),  // breaking story
+		mk(300, 10, 0, 11), // slow burn
+		mk(500, 18, 9, 11), // flash event
+	}
+	return b.Build(), stories
+}
+
+// matchLabel reports which planted story (if any) a discovered core
+// corresponds to, by majority overlap.
+func matchLabel(c dccs.CC, stories []datasets.Community) string {
+	members := map[int]bool{}
+	for _, v := range c.Vertices {
+		members[int(v)] = true
+	}
+	for i, s := range stories {
+		overlap := 0
+		for _, v := range s.Vertices {
+			if members[v] {
+				overlap++
+			}
+		}
+		if 2*overlap >= len(s.Vertices) {
+			return fmt.Sprintf("  <- story %d (%d/%d entities)", i+1, overlap, len(s.Vertices))
+		}
+	}
+	return ""
+}

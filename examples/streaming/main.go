@@ -1,0 +1,97 @@
+// Streaming coherent-core tracking: the dynamic counterpart of the story
+// identification application.
+//
+// Posts keep arriving, so the hourly snapshot layers of the entity
+// co-occurrence graph gain and lose edges continuously. Instead of
+// re-running DCCS after every update, a CoreMaintainer keeps the
+// d-coherent core of the watched snapshots current with exact incremental
+// updates: deletions cascade-peel, insertions explore only the region the
+// new edge can activate. The example simulates a story that builds up,
+// peaks, and dissolves, and prints the tracked core as it evolves.
+//
+// Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	dccs "repro"
+)
+
+const (
+	entities = 500
+	layers   = 3 // the three snapshots being watched
+	d        = 3
+)
+
+func main() {
+	g := dccs.NewDynamicGraph(entities, layers)
+	m, err := dccs.NewCoreMaintainer(g, []int{0, 1, 2}, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+
+	// Background chatter on all snapshots.
+	for i := 0; i < 2000; i++ {
+		u, v := rng.Intn(entities), rng.Intn(entities)
+		if u != v {
+			m.AddEdge(rng.Intn(layers), u, v)
+		}
+	}
+	fmt.Printf("background only: core size %d\n", m.CoreSize())
+
+	// Phase 1: a story about entities 40..49 builds up edge by edge on
+	// every snapshot. Watch the core light up the moment the group gets
+	// dense enough — a single edge insertion flips it.
+	story := []int{40, 41, 42, 43, 44, 45, 46, 47, 48, 49}
+	fmt.Println("\nstory building up:")
+	added := 0
+	for i := 0; i < len(story); i++ {
+		for j := i + 1; j < len(story); j++ {
+			for layer := 0; layer < layers; layer++ {
+				m.AddEdge(layer, story[i], story[j])
+			}
+			added++
+			if tracked := storyMembers(m, story); tracked == len(story) {
+				fmt.Printf("  after %2d pair(s): all %d entities in the %d-coherent core\n",
+					added, len(story), d)
+				i, j = len(story), len(story) // break out
+			} else if added%12 == 0 {
+				fmt.Printf("  after %2d pair(s): %2d/%d entities tracked (core size %d)\n",
+					added, tracked, len(story), m.CoreSize())
+			}
+		}
+	}
+
+	// Phase 2: the story churns — random story edges drop off one
+	// snapshot while background noise keeps flowing. The core follows.
+	fmt.Println("\nstory dissolving on snapshot 2:")
+	for i := 0; i < len(story); i++ {
+		for j := i + 1; j < len(story); j++ {
+			m.RemoveEdge(2, story[i], story[j])
+		}
+		fmt.Printf("  entity %d disconnected on snapshot 2: %d/%d tracked, core size %d\n",
+			story[i], storyMembers(m, story), len(story), m.CoreSize())
+		if storyMembers(m, story) == 0 {
+			break
+		}
+	}
+
+	fmt.Println("\nevery state above equals a from-scratch dCC recomputation;")
+	fmt.Println("the maintainer just gets there incrementally.")
+}
+
+func storyMembers(m *dccs.CoreMaintainer, story []int) int {
+	n := 0
+	for _, v := range story {
+		if m.Core().Contains(v) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Fig12 prints the dataset statistics table.
+func (s *Suite) Fig12() []*Table {
+	t := &Table{
+		Title:  "Fig 12: Statistics of Graph Datasets (synthetic stand-ins)",
+		Header: []string{"Graph", "|V(G)|", "Σ|E(Gi)|", "|∪E(Gi)|", "l(G)"},
+		Notes: []string{
+			"real datasets are not redistributable; shapes documented in DESIGN.md §3",
+		},
+	}
+	for _, name := range []string{"PPI", "Author", "German", "Wiki", "English", "Stack"} {
+		st := s.dataset(name).Graph.Stats()
+		t.Add(name, st.N, st.TotalEdges, st.UnionEdges, st.Layers)
+	}
+	return []*Table{t}
+}
+
+// Fig13 prints the parameter configuration table.
+func (s *Suite) Fig13() []*Table {
+	t := &Table{
+		Title:  "Fig 13: Parameter Configuration",
+		Header: []string{"Parameter", "Range", "Default"},
+	}
+	t.Add("k", "{5,10,15,20,25}", defaultK)
+	t.Add("d", "{2,3,4,5,6}", defaultD)
+	t.Add("s (small)", "{1,2,3,4,5}", defaultS)
+	t.Add("s (large)", "{l-4,...,l}", "l-2")
+	t.Add("p", "{0.2,...,1.0}", "1.0")
+	t.Add("q", "{0.2,...,1.0}", "1.0")
+	return []*Table{t}
+}
+
+// varySmallS runs GD and BU over the small-s grid on one dataset.
+func (s *Suite) varySmallS(name string) []record {
+	return s.cachedSweep("smallS/"+name, func() []record {
+		g := s.dataset(name).Graph
+		opts, labels := optsForS(s.smallSValues(), defaultD, defaultK)
+		return s.sweep(g, []algoSpec{algoGD, algoBU}, opts, labels)
+	})
+}
+
+// varyLargeS runs GD, BU and TD over the large-s grid on one dataset.
+// BU runs under the node budget: at large s its tree over 2^l subsets is
+// the paper's own pathological case (Fig 15 reports 10³–10⁵ s runs).
+func (s *Suite) varyLargeS(name string) []record {
+	return s.cachedSweep("largeS/"+name, func() []record {
+		g := s.dataset(name).Graph
+		opts, labels := optsForS(s.largeSValues(g.L()), defaultD, defaultK)
+		recs := s.sweep(g, []algoSpec{algoGD}, opts, labels)
+		capped := make([]core.Options, len(opts))
+		for i, o := range opts {
+			o.MaxTreeNodes = buLargeSNodeCap
+			capped[i] = o
+		}
+		recs = append(recs, s.sweep(g, []algoSpec{algoBU}, capped, labels)...)
+		recs = append(recs, s.sweep(g, []algoSpec{algoTD}, opts, labels)...)
+		return recs
+	})
+}
+
+// Fig14 reports execution time vs small s on English and Stack.
+func (s *Suite) Fig14() []*Table {
+	var out []*Table
+	for _, name := range []string{"English", "Stack"} {
+		recs := s.varySmallS(name)
+		out = append(out, tableFrom(
+			fmt.Sprintf("Fig 14: Execution Time vs Small s (%s)", name),
+			"s", recs, secsMetric, "time(s)"))
+	}
+	return out
+}
+
+// Fig15 reports execution time vs large s on English and Stack.
+func (s *Suite) Fig15() []*Table {
+	var out []*Table
+	for _, name := range []string{"English", "Stack"} {
+		recs := s.varyLargeS(name)
+		out = append(out, tableFrom(
+			fmt.Sprintf("Fig 15: Execution Time vs Large s (%s)", name),
+			"s", recs, secsMetric, "time(s)"))
+	}
+	return out
+}
+
+// Fig16 reports result cover size vs small s.
+func (s *Suite) Fig16() []*Table {
+	var out []*Table
+	for _, name := range []string{"English", "Stack"} {
+		recs := s.varySmallS(name)
+		out = append(out, tableFrom(
+			fmt.Sprintf("Fig 16: Result Cover Size vs Small s (%s)", name),
+			"s", recs, coverMetric, "|Cov(R)|"))
+	}
+	return out
+}
+
+// Fig17 reports result cover size vs large s.
+func (s *Suite) Fig17() []*Table {
+	var out []*Table
+	for _, name := range []string{"English", "Stack"} {
+		recs := s.varyLargeS(name)
+		out = append(out, tableFrom(
+			fmt.Sprintf("Fig 17: Result Cover Size vs Large s (%s)", name),
+			"s", recs, coverMetric, "|Cov(R)|"))
+	}
+	return out
+}
+
+// varyD runs the given algorithms over the d grid at fixed s.
+func (s *Suite) varyD(name string, sVal int, algos []algoSpec) []record {
+	key := fmt.Sprintf("varyD/%s/%d/%s", name, sVal, algos[len(algos)-1].name)
+	return s.cachedSweep(key, func() []record {
+		g := s.dataset(name).Graph
+		dvals := s.dValues()
+		opts := make([]core.Options, len(dvals))
+		labels := make([]string, len(dvals))
+		for i, d := range dvals {
+			opts[i] = core.Options{D: d, S: sVal, K: defaultK}
+			labels[i] = fmt.Sprintf("%d", d)
+		}
+		return s.sweep(g, algos, opts, labels)
+	})
+}
+
+// Fig18 reports execution time vs d for small s (GD vs BU).
+func (s *Suite) Fig18() []*Table {
+	var out []*Table
+	for _, name := range []string{"German", "English"} {
+		recs := s.varyD(name, defaultS, []algoSpec{algoGD, algoBU})
+		out = append(out, tableFrom(
+			fmt.Sprintf("Fig 18: Execution Time vs d, s=%d (%s)", defaultS, name),
+			"d", recs, secsMetric, "time(s)"))
+	}
+	return out
+}
+
+// Fig19 reports execution time vs d for large s (GD vs TD).
+func (s *Suite) Fig19() []*Table {
+	var out []*Table
+	for _, name := range []string{"German", "English"} {
+		l := s.dataset(name).Graph.L()
+		recs := s.varyD(name, l-2, []algoSpec{algoGD, algoTD})
+		out = append(out, tableFrom(
+			fmt.Sprintf("Fig 19: Execution Time vs d, s=l-2=%d (%s)", l-2, name),
+			"d", recs, secsMetric, "time(s)"))
+	}
+	return out
+}
+
+// Fig20 reports cover size vs d for small s.
+func (s *Suite) Fig20() []*Table {
+	var out []*Table
+	for _, name := range []string{"German", "English"} {
+		recs := s.varyD(name, defaultS, []algoSpec{algoGD, algoBU})
+		out = append(out, tableFrom(
+			fmt.Sprintf("Fig 20: Result Cover Size vs d, s=%d (%s)", defaultS, name),
+			"d", recs, coverMetric, "|Cov(R)|"))
+	}
+	return out
+}
+
+// Fig21 reports cover size vs d for large s.
+func (s *Suite) Fig21() []*Table {
+	var out []*Table
+	for _, name := range []string{"German", "English"} {
+		l := s.dataset(name).Graph.L()
+		recs := s.varyD(name, l-2, []algoSpec{algoGD, algoTD})
+		out = append(out, tableFrom(
+			fmt.Sprintf("Fig 21: Result Cover Size vs d, s=l-2=%d (%s)", l-2, name),
+			"d", recs, coverMetric, "|Cov(R)|"))
+	}
+	return out
+}
+
+// varyK runs the given algorithms over the k grid at fixed s.
+func (s *Suite) varyK(name string, sVal int, algos []algoSpec) []record {
+	key := fmt.Sprintf("varyK/%s/%d/%s", name, sVal, algos[len(algos)-1].name)
+	return s.cachedSweep(key, func() []record {
+		g := s.dataset(name).Graph
+		kvals := s.kValues()
+		opts := make([]core.Options, len(kvals))
+		labels := make([]string, len(kvals))
+		for i, k := range kvals {
+			opts[i] = core.Options{D: defaultD, S: sVal, K: k}
+			labels[i] = fmt.Sprintf("%d", k)
+		}
+		return s.sweep(g, algos, opts, labels)
+	})
+}
+
+// Fig22 reports execution time vs k for small s (GD vs BU).
+func (s *Suite) Fig22() []*Table {
+	var out []*Table
+	for _, name := range []string{"Wiki", "English"} {
+		recs := s.varyK(name, defaultS, []algoSpec{algoGD, algoBU})
+		out = append(out, tableFrom(
+			fmt.Sprintf("Fig 22: Execution Time vs k, s=%d (%s)", defaultS, name),
+			"k", recs, secsMetric, "time(s)"))
+	}
+	return out
+}
+
+// Fig23 reports execution time vs k for large s (GD vs TD).
+func (s *Suite) Fig23() []*Table {
+	var out []*Table
+	for _, name := range []string{"Wiki", "English"} {
+		l := s.dataset(name).Graph.L()
+		recs := s.varyK(name, l-2, []algoSpec{algoGD, algoTD})
+		out = append(out, tableFrom(
+			fmt.Sprintf("Fig 23: Execution Time vs k, s=l-2=%d (%s)", l-2, name),
+			"k", recs, secsMetric, "time(s)"))
+	}
+	return out
+}
+
+// Fig24 reports cover size vs k for small s.
+func (s *Suite) Fig24() []*Table {
+	var out []*Table
+	for _, name := range []string{"Wiki", "English"} {
+		recs := s.varyK(name, defaultS, []algoSpec{algoGD, algoBU})
+		out = append(out, tableFrom(
+			fmt.Sprintf("Fig 24: Result Cover Size vs k, s=%d (%s)", defaultS, name),
+			"k", recs, coverMetric, "|Cov(R)|"))
+	}
+	return out
+}
+
+// Fig25 reports cover size vs k for large s.
+func (s *Suite) Fig25() []*Table {
+	var out []*Table
+	for _, name := range []string{"Wiki", "English"} {
+		l := s.dataset(name).Graph.L()
+		recs := s.varyK(name, l-2, []algoSpec{algoGD, algoTD})
+		out = append(out, tableFrom(
+			fmt.Sprintf("Fig 25: Result Cover Size vs k, s=l-2=%d (%s)", l-2, name),
+			"k", recs, coverMetric, "|Cov(R)|"))
+	}
+	return out
+}

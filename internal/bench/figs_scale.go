@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/multilayer"
+)
+
+// pValues is the vertex-sampling grid of Fig 26.
+func (s *Suite) pValues() []float64 {
+	if s.Quick {
+		return []float64{0.5, 1.0}
+	}
+	return []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+}
+
+// Fig26 reports scalability in the vertex fraction p on Stack: a random
+// fraction p of vertices is kept and the three algorithms run with
+// default parameters (BU at the small-s default, TD at the large-s
+// default, GD at both, matching the paper's two panels).
+func (s *Suite) Fig26() []*Table {
+	g := s.dataset("Stack").Graph
+	rng := rand.New(rand.NewSource(s.Seed + 26))
+	tSmall := &Table{
+		Title:  fmt.Sprintf("Fig 26a: Execution Time vs p (Stack, s=%d)", defaultS),
+		Header: []string{"p", "GD-DCCS time(s)", "BU-DCCS time(s)"},
+	}
+	lg := g.L()
+	tLarge := &Table{
+		Title:  fmt.Sprintf("Fig 26b: Execution Time vs p (Stack, s=l-2=%d)", lg-2),
+		Header: []string{"p", "GD-DCCS time(s)", "TD-DCCS time(s)"},
+	}
+	for _, p := range s.pValues() {
+		sub := sampleVertices(g, p, rng)
+		smallOpts := core.Options{D: defaultD, S: defaultS, K: defaultK, Seed: s.Seed}
+		largeOpts := core.Options{D: defaultD, S: lg - 2, K: defaultK, Seed: s.Seed}
+		gd1 := mustRun(core.GreedyDCCS, sub, smallOpts)
+		bu := mustRun(core.BottomUpDCCS, sub, smallOpts)
+		gd2 := mustRun(core.GreedyDCCS, sub, largeOpts)
+		td := mustRun(core.TopDownDCCS, sub, largeOpts)
+		tSmall.Add(p, gd1.Stats.Elapsed.Seconds(), bu.Stats.Elapsed.Seconds())
+		tLarge.Add(p, gd2.Stats.Elapsed.Seconds(), td.Stats.Elapsed.Seconds())
+	}
+	return []*Table{tSmall, tLarge}
+}
+
+// Fig27 reports scalability in the layer fraction q on Stack.
+func (s *Suite) Fig27() []*Table {
+	g := s.dataset("Stack").Graph
+	rng := rand.New(rand.NewSource(s.Seed + 27))
+	tSmall := &Table{
+		Title:  fmt.Sprintf("Fig 27a: Execution Time vs q (Stack, s=%d)", defaultS),
+		Header: []string{"q", "layers", "GD-DCCS time(s)", "BU-DCCS time(s)"},
+	}
+	tLarge := &Table{
+		Title:  "Fig 27b: Execution Time vs q (Stack, s=l'-2)",
+		Header: []string{"q", "layers", "GD-DCCS time(s)", "TD-DCCS time(s)"},
+	}
+	for _, q := range s.pValues() {
+		nl := int(float64(g.L())*q + 0.5)
+		if nl < 1 {
+			nl = 1
+		}
+		layers := rng.Perm(g.L())[:nl]
+		sub := g.LayerSample(sortedCopy(layers))
+		sSmall := defaultS
+		if sSmall > nl {
+			sSmall = nl
+		}
+		sLarge := nl - 2
+		if sLarge < 1 {
+			sLarge = 1
+		}
+		smallOpts := core.Options{D: defaultD, S: sSmall, K: defaultK, Seed: s.Seed}
+		largeOpts := core.Options{D: defaultD, S: sLarge, K: defaultK, Seed: s.Seed}
+		gd1 := mustRun(core.GreedyDCCS, sub, smallOpts)
+		bu := mustRun(core.BottomUpDCCS, sub, smallOpts)
+		gd2 := mustRun(core.GreedyDCCS, sub, largeOpts)
+		td := mustRun(core.TopDownDCCS, sub, largeOpts)
+		tSmall.Add(q, nl, gd1.Stats.Elapsed.Seconds(), bu.Stats.Elapsed.Seconds())
+		tLarge.Add(q, nl, gd2.Stats.Elapsed.Seconds(), td.Stats.Elapsed.Seconds())
+	}
+	return []*Table{tSmall, tLarge}
+}
+
+// Fig28 reports the preprocessing ablation: BU-DCCS at small s and
+// TD-DCCS at large s on Wiki and English with each preprocessing method
+// disabled in turn.
+func (s *Suite) Fig28() []*Table {
+	variants := []struct {
+		name string
+		mod  func(*core.Options)
+	}{
+		{"full", func(o *core.Options) {}},
+		{"No-SL", func(o *core.Options) { o.NoSortLayers = true }},
+		{"No-IR", func(o *core.Options) { o.NoInitResult = true }},
+		{"No-VD", func(o *core.Options) { o.NoVertexDeletion = true }},
+		{"No-Pre", func(o *core.Options) {
+			o.NoSortLayers, o.NoInitResult, o.NoVertexDeletion = true, true, true
+		}},
+	}
+	tSmall := &Table{
+		Title:  fmt.Sprintf("Fig 28a: Effects of Preprocessing (BU-DCCS, s=%d)", defaultS),
+		Header: []string{"variant", "Wiki time(s)", "English time(s)"},
+	}
+	tLarge := &Table{
+		Title:  "Fig 28b: Effects of Preprocessing (TD-DCCS, s=l-2)",
+		Header: []string{"variant", "Wiki time(s)", "English time(s)"},
+	}
+	for _, v := range variants {
+		rowS := []interface{}{v.name}
+		rowL := []interface{}{v.name}
+		for _, name := range []string{"Wiki", "English"} {
+			g := s.dataset(name).Graph
+			optS := core.Options{D: defaultD, S: defaultS, K: defaultK, Seed: s.Seed}
+			v.mod(&optS)
+			rowS = append(rowS, mustRun(core.BottomUpDCCS, g, optS).Stats.Elapsed.Seconds())
+			optL := core.Options{D: defaultD, S: g.L() - 2, K: defaultK, Seed: s.Seed}
+			v.mod(&optL)
+			rowL = append(rowL, mustRun(core.TopDownDCCS, g, optL).Stats.Elapsed.Seconds())
+		}
+		tSmall.Add(rowS...)
+		tLarge.Add(rowL...)
+	}
+	return []*Table{tSmall, tLarge}
+}
+
+func mustRun(f func(*multilayer.Graph, core.Options) (*core.Result, error), g *multilayer.Graph, o core.Options) *core.Result {
+	res, err := f(g, o)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return res
+}
+
+func sampleVertices(g *multilayer.Graph, p float64, rng *rand.Rand) *multilayer.Graph {
+	if p >= 1.0 {
+		return g
+	}
+	keep := bitset.New(g.N())
+	for v := 0; v < g.N(); v++ {
+		if rng.Float64() < p {
+			keep.Add(v)
+		}
+	}
+	return g.InducedVertexSample(keep)
+}

@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/multilayer"
+)
+
+// Suite runs the paper's experiments. Scale shrinks or grows the four
+// large synthetic datasets (1.0 = the defaults documented in the datasets
+// package); Quick additionally trims the parameter grids so a full pass
+// finishes in well under a minute.
+type Suite struct {
+	Scale float64
+	Seed  int64
+	Quick bool
+	// OutDir receives artifact files (the Fig 31 DOT export); empty
+	// disables file output.
+	OutDir string
+	W      io.Writer
+
+	cache      map[string]*datasets.Dataset
+	cmpCache   map[string]comparisonRun
+	sweepCache map[string][]record
+}
+
+// cachedSweep memoizes a sweep under a key: the time- and cover-size
+// figures of each pair (14/16, 15/17, …) share one set of runs.
+func (s *Suite) cachedSweep(key string, run func() []record) []record {
+	if s.sweepCache == nil {
+		s.sweepCache = map[string][]record{}
+	}
+	if recs, ok := s.sweepCache[key]; ok {
+		return recs
+	}
+	recs := run()
+	s.sweepCache[key] = recs
+	return recs
+}
+
+// Defaults of the paper's Fig 13.
+const (
+	defaultK = 10
+	defaultD = 4
+	defaultS = 3 // small-s default; the large-s default is l(G)−2
+)
+
+// Figures lists the implemented figure numbers in order.
+func Figures() []int {
+	return []int{12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32}
+}
+
+// Run executes one figure's experiment and prints its tables.
+func (s *Suite) Run(fig int) error {
+	if s.W == nil {
+		return fmt.Errorf("bench: no output writer")
+	}
+	if s.Scale <= 0 {
+		s.Scale = 1.0
+	}
+	runner, ok := map[int]func() []*Table{
+		12: s.Fig12, 13: s.Fig13,
+		14: s.Fig14, 15: s.Fig15, 16: s.Fig16, 17: s.Fig17,
+		18: s.Fig18, 19: s.Fig19, 20: s.Fig20, 21: s.Fig21,
+		22: s.Fig22, 23: s.Fig23, 24: s.Fig24, 25: s.Fig25,
+		26: s.Fig26, 27: s.Fig27, 28: s.Fig28,
+		29: s.Fig29, 30: s.Fig30, 31: s.Fig31, 32: s.Fig32,
+	}[fig]
+	if !ok {
+		return fmt.Errorf("bench: unknown figure %d (have %v)", fig, Figures())
+	}
+	start := time.Now()
+	for _, t := range runner() {
+		t.Fprint(s.W)
+	}
+	fmt.Fprintf(s.W, "[fig %d done in %v]\n\n", fig, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// RunAll executes every implemented figure.
+func (s *Suite) RunAll() error {
+	for _, fig := range Figures() {
+		if err := s.Run(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dataset returns the named synthetic dataset, cached per suite.
+func (s *Suite) dataset(name string) *datasets.Dataset {
+	if s.cache == nil {
+		s.cache = map[string]*datasets.Dataset{}
+	}
+	if d, ok := s.cache[name]; ok {
+		return d
+	}
+	scale := s.Scale
+	if s.Quick && scale > 0.1 {
+		scale = 0.1
+	}
+	var d *datasets.Dataset
+	switch name {
+	case "PPI":
+		d = datasets.PPI(s.Seed)
+	case "Author":
+		d = datasets.Author(s.Seed)
+	case "German":
+		d = datasets.German(scale, s.Seed)
+	case "Wiki":
+		d = datasets.Wiki(scale, s.Seed)
+	case "English":
+		d = datasets.English(scale, s.Seed)
+	case "Stack":
+		d = datasets.Stack(scale, s.Seed)
+	default:
+		panic("bench: unknown dataset " + name)
+	}
+	s.cache[name] = d
+	return d
+}
+
+// algoSpec names an algorithm runner for the sweep helpers.
+type algoSpec struct {
+	name string
+	run  func(*multilayer.Graph, core.Options) (*core.Result, error)
+}
+
+var (
+	algoGD = algoSpec{"GD-DCCS", core.GreedyDCCS}
+	algoBU = algoSpec{"BU-DCCS", core.BottomUpDCCS}
+	algoTD = algoSpec{"TD-DCCS", core.TopDownDCCS}
+)
+
+// record is one measured run.
+type record struct {
+	algo  string
+	param string
+	secs  float64
+	cover int
+	stats core.Stats
+}
+
+// buLargeSNodeCap bounds the bottom-up search at large s, where the
+// paper itself reports runs of 10³–10⁵ seconds (Fig 15). Capped rows are
+// marked with "+" (time and cover are lower bounds of the uncapped run).
+const buLargeSNodeCap = 5_000
+
+// sweep runs every algorithm for every option set and labels rows.
+func (s *Suite) sweep(g *multilayer.Graph, algos []algoSpec, params []core.Options, labels []string) []record {
+	var out []record
+	for _, a := range algos {
+		for i, opt := range params {
+			opt.Seed = s.Seed
+			res, err := a.run(g, opt)
+			if err != nil {
+				panic(fmt.Sprintf("bench: %s: %v", a.name, err))
+			}
+			out = append(out, record{
+				algo:  a.name,
+				param: labels[i],
+				secs:  res.Stats.Elapsed.Seconds(),
+				cover: res.CoverSize,
+				stats: res.Stats,
+			})
+		}
+	}
+	return out
+}
+
+// tableFrom lays records out with one row per parameter value and one
+// column pair per algorithm.
+func tableFrom(title, paramName string, recs []record, metric func(record) string, metricName string) *Table {
+	t := &Table{Title: title}
+	var algos []string
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if !seen[r.algo] {
+			seen[r.algo] = true
+			algos = append(algos, r.algo)
+		}
+	}
+	var params []string
+	seenP := map[string]bool{}
+	for _, r := range recs {
+		if !seenP[r.param] {
+			seenP[r.param] = true
+			params = append(params, r.param)
+		}
+	}
+	t.Header = append([]string{paramName}, func() []string {
+		h := make([]string, len(algos))
+		for i, a := range algos {
+			h[i] = a + " " + metricName
+		}
+		return h
+	}()...)
+	byKey := map[string]record{}
+	for _, r := range recs {
+		byKey[r.algo+"|"+r.param] = r
+	}
+	for _, p := range params {
+		row := []string{p}
+		for _, a := range algos {
+			row = append(row, metric(byKey[a+"|"+p]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func secsMetric(r record) string {
+	out := formatFloat(r.secs)
+	if r.stats.Truncated {
+		out += "+"
+	}
+	return out
+}
+
+func coverMetric(r record) string {
+	out := fmt.Sprintf("%d", r.cover)
+	if r.stats.Truncated {
+		out += "*"
+	}
+	return out
+}
+
+// smallSValues returns the small-s grid {1..5} (trimmed in Quick mode).
+func (s *Suite) smallSValues() []int {
+	if s.Quick {
+		return []int{2, 3}
+	}
+	return []int{1, 2, 3, 4, 5}
+}
+
+// largeSValues returns the large-s grid {l−4..l}.
+func (s *Suite) largeSValues(l int) []int {
+	if s.Quick {
+		return []int{l - 2, l}
+	}
+	vals := []int{l - 4, l - 3, l - 2, l - 1, l}
+	var out []int
+	for _, v := range vals {
+		if v >= 1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (s *Suite) dValues() []int {
+	if s.Quick {
+		return []int{3, 4}
+	}
+	return []int{2, 3, 4, 5, 6}
+}
+
+func (s *Suite) kValues() []int {
+	if s.Quick {
+		return []int{5, 10}
+	}
+	return []int{5, 10, 15, 20, 25}
+}
+
+func optsForS(svals []int, d, k int) ([]core.Options, []string) {
+	opts := make([]core.Options, len(svals))
+	labels := make([]string, len(svals))
+	for i, sv := range svals {
+		opts[i] = core.Options{D: d, S: sv, K: k}
+		labels[i] = fmt.Sprintf("%d", sv)
+	}
+	return opts, labels
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,464 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/kcore"
+	"repro/internal/multilayer"
+	"repro/internal/testutil"
+)
+
+// figure1Graph builds a 15-vertex, 4-layer graph with the structure of the
+// paper's Fig 1: a 9-vertex block (vertices 0–8, "a"–"i") that is 4-regular
+// on every layer, vertices y=11, m=12 densely attached on layers {0,2},
+// vertices m=12, k=13, n=14 densely attached on layers {1,3}, and sparse
+// vertices j=9, x=10. With d=3, s=2, k=2 the top-2 diversified d-CCs are
+// C^3_{0,2} = block ∪ {y,m} (11 vertices) and C^3_{1,3} = block ∪ {m,k,n}
+// (12 vertices), covering 13 vertices in total.
+func figure1Graph(t testing.TB) *multilayer.Graph {
+	b := multilayer.NewBuilder(15, 4)
+	for layer := 0; layer < 4; layer++ {
+		for i := 0; i < 9; i++ {
+			b.MustAddEdge(layer, i, (i+1)%9)
+			b.MustAddEdge(layer, i, (i+2)%9)
+		}
+	}
+	for _, layer := range []int{0, 2} {
+		b.MustAddEdge(layer, 11, 0)
+		b.MustAddEdge(layer, 11, 1)
+		b.MustAddEdge(layer, 11, 2)
+		b.MustAddEdge(layer, 11, 12)
+		b.MustAddEdge(layer, 12, 3)
+		b.MustAddEdge(layer, 12, 4)
+		b.MustAddEdge(layer, 12, 5)
+	}
+	for _, layer := range []int{1, 3} {
+		b.MustAddEdge(layer, 12, 13)
+		b.MustAddEdge(layer, 12, 14)
+		b.MustAddEdge(layer, 12, 0)
+		b.MustAddEdge(layer, 14, 13)
+		b.MustAddEdge(layer, 14, 1)
+		b.MustAddEdge(layer, 13, 2)
+	}
+	b.MustAddEdge(0, 9, 6)
+	b.MustAddEdge(0, 9, 7)
+	b.MustAddEdge(0, 9, 8)
+	b.MustAddEdge(0, 10, 0)
+	b.MustAddEdge(1, 10, 1)
+	return b.Build()
+}
+
+// naiveCandidates enumerates every size-s layer subset and its d-CC with
+// the reference dCC, independent of any search-tree machinery.
+func naiveCandidates(g *multilayer.Graph, d, s int) []CC {
+	var out []CC
+	full := bitset.NewFull(g.N())
+	comb := make([]int, s)
+	var rec func(next, idx int)
+	rec = func(next, idx int) {
+		if idx == s {
+			layers := append([]int(nil), comb...)
+			cc := kcore.DCC(g, full, layers, d)
+			out = append(out, CC{Layers: layers, Vertices: cc.Slice32()})
+			return
+		}
+		for i := next; i <= g.L()-(s-idx); i++ {
+			comb[idx] = i
+			rec(i+1, idx+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// bruteForceOptimal returns the maximum coverage of any k-subset of the
+// candidates. Exponential; for tiny instances only.
+func bruteForceOptimal(n int, cands []CC, k int) int {
+	best := 0
+	var rec func(start int, chosen []*CC)
+	rec = func(start int, chosen []*CC) {
+		if len(chosen) == k || start == len(cands) {
+			cov := bitset.New(n)
+			for _, c := range chosen {
+				for _, v := range c.Vertices {
+					cov.Add(int(v))
+				}
+			}
+			if cov.Count() > best {
+				best = cov.Count()
+			}
+			return
+		}
+		rec(start+1, append(chosen, &cands[start]))
+		rec(start+1, chosen)
+	}
+	rec(0, nil)
+	return best
+}
+
+func coverOf(n int, cores []CC) int {
+	cov := bitset.New(n)
+	for _, c := range cores {
+		for _, v := range c.Vertices {
+			cov.Add(int(v))
+		}
+	}
+	return cov.Count()
+}
+
+func TestFigure1AllAlgorithms(t *testing.T) {
+	g := figure1Graph(t)
+	opts := Options{D: 3, S: 2, K: 2}
+	for name, algo := range map[string]func(*multilayer.Graph, Options) (*Result, error){
+		"greedy": GreedyDCCS, "bottomup": BottomUpDCCS, "topdown": TopDownDCCS,
+	} {
+		res, err := algo(g, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.CoverSize != 13 {
+			t.Errorf("%s: CoverSize = %d, want 13", name, res.CoverSize)
+		}
+		if len(res.Cores) != 2 {
+			t.Fatalf("%s: %d cores", name, len(res.Cores))
+		}
+		if coverOf(g.N(), res.Cores) != res.CoverSize {
+			t.Errorf("%s: reported CoverSize inconsistent with cores", name)
+		}
+		seen := map[int]bool{}
+		for _, c := range res.Cores {
+			seen[len(c.Vertices)] = true
+		}
+		if !seen[11] || !seen[12] {
+			t.Errorf("%s: core sizes wrong: %v", name, seen)
+		}
+	}
+}
+
+func TestFigure1CandidateShapes(t *testing.T) {
+	g := figure1Graph(t)
+	cands := naiveCandidates(g, 3, 2)
+	if len(cands) != 6 {
+		t.Fatalf("%d candidates, want C(4,2)=6", len(cands))
+	}
+	sizes := map[string]int{}
+	for _, c := range cands {
+		key := string(rune('0'+c.Layers[0])) + string(rune('0'+c.Layers[1]))
+		sizes[key] = len(c.Vertices)
+	}
+	want := map[string]int{"01": 9, "02": 11, "03": 9, "12": 9, "13": 12, "23": 9}
+	for k, v := range want {
+		if sizes[k] != v {
+			t.Errorf("|C^3_{%s}| = %d, want %d", k, sizes[k], v)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := figure1Graph(t)
+	bad := []Options{
+		{D: 0, S: 2, K: 1},
+		{D: 1, S: 0, K: 1},
+		{D: 1, S: 5, K: 1},
+		{D: 1, S: 2, K: 0},
+	}
+	for _, o := range bad {
+		for name, algo := range map[string]func(*multilayer.Graph, Options) (*Result, error){
+			"greedy": GreedyDCCS, "bottomup": BottomUpDCCS, "topdown": TopDownDCCS,
+		} {
+			if _, err := algo(g, o); err == nil {
+				t.Errorf("%s accepted invalid options %+v", name, o)
+			}
+		}
+	}
+	if _, err := GreedyDCCS(nil, Options{D: 1, S: 1, K: 1}); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := multilayer.NewBuilder(10, 3).Build()
+	for name, algo := range map[string]func(*multilayer.Graph, Options) (*Result, error){
+		"greedy": GreedyDCCS, "bottomup": BottomUpDCCS, "topdown": TopDownDCCS,
+	} {
+		res, err := algo(g, Options{D: 2, S: 2, K: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.CoverSize != 0 {
+			t.Errorf("%s: CoverSize = %d on empty graph", name, res.CoverSize)
+		}
+	}
+}
+
+// TestFullEnumerationAgreement checks that with k larger than the number
+// of candidates every algorithm covers exactly the union of all candidate
+// d-CCs — i.e. the searches enumerate the complete candidate space.
+// Result initialization must be disabled: InitTopK fills R to k up front,
+// after which Rule 2's (1 + 1/k) threshold may legitimately reject
+// marginal candidates.
+func TestFullEnumerationAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomCorrelatedGraph(rng, 8+rng.Intn(20), 2+rng.Intn(4), 0.35, 0.85, 0.08)
+		d := 1 + rng.Intn(3)
+		s := 1 + rng.Intn(g.L())
+		cands := naiveCandidates(g, d, s)
+		union := bitset.New(g.N())
+		for _, c := range cands {
+			for _, v := range c.Vertices {
+				union.Add(int(v))
+			}
+		}
+		k := len(cands) + 3
+		opts := Options{D: d, S: s, K: k, Seed: seed, NoInitResult: true}
+		for _, algo := range []func(*multilayer.Graph, Options) (*Result, error){
+			GreedyDCCS, BottomUpDCCS, TopDownDCCS,
+		} {
+			res, err := algo(g, opts)
+			if err != nil {
+				return false
+			}
+			if res.CoverSize != union.Count() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApproximationBounds verifies the guarantees on small random
+// instances against the brute-force optimum: 1−1/e for the greedy
+// algorithm (Theorem 2) and 1/4 for the search algorithms (Theorems 3–4).
+func TestApproximationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomCorrelatedGraph(rng, 8+rng.Intn(15), 2+rng.Intn(3), 0.4, 0.85, 0.1)
+		d := 1 + rng.Intn(2)
+		s := 1 + rng.Intn(g.L())
+		k := 1 + rng.Intn(3)
+		cands := naiveCandidates(g, d, s)
+		if len(cands) > 12 {
+			return true // keep brute force tractable
+		}
+		opt := bruteForceOptimal(g.N(), cands, k)
+		opts := Options{D: d, S: s, K: k, Seed: seed}
+
+		gd, err := GreedyDCCS(g, opts)
+		if err != nil || 100*gd.CoverSize < 63*opt { // 1−1/e ≈ 0.632
+			return false
+		}
+		bu, err := BottomUpDCCS(g, opts)
+		if err != nil || 4*bu.CoverSize < opt {
+			return false
+		}
+		td, err := TopDownDCCS(g, opts)
+		if err != nil || 4*td.CoverSize < opt {
+			return false
+		}
+		// Reported coverage must equal the actual union of the cores.
+		for _, r := range []*Result{gd, bu, td} {
+			if coverOf(g.N(), r.Cores) != r.CoverSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPruningPreservesGuarantee compares search algorithms with pruning
+// enabled and disabled: both configurations must stay within the 1/4
+// bound, and disabling pruning must not reduce the number of visited
+// level-s candidates below the pruned run's.
+func TestPruningPreservesGuarantee(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomCorrelatedGraph(rng, 10+rng.Intn(15), 3+rng.Intn(3), 0.4, 0.85, 0.1)
+		d := 1 + rng.Intn(2)
+		s := 1 + rng.Intn(g.L())
+		k := 1 + rng.Intn(3)
+		noPrune := Options{
+			D: d, S: s, K: k, Seed: seed,
+			NoEq1Pruning: true, NoOrderPruning: true, NoLayerPruning: true, NoPotentialPruning: true,
+		}
+		pruned := Options{D: d, S: s, K: k, Seed: seed}
+		binom := binomial(g.L(), s)
+		for _, algo := range []func(*multilayer.Graph, Options) (*Result, error){BottomUpDCCS, TopDownDCCS} {
+			rp, err1 := algo(g, pruned)
+			rn, err2 := algo(g, noPrune)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			// Without pruning the whole level-s space is visited.
+			if rn.Stats.Candidates < binom {
+				return false
+			}
+			if rp.Stats.Candidates > rn.Stats.Candidates {
+				return false
+			}
+			// Both must stay within 4x of each other's coverage: each is
+			// ≥ opt/4 and ≤ opt.
+			if 4*rp.CoverSize < rn.CoverSize || 4*rn.CoverSize < rp.CoverSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := testutil.RandomCorrelatedGraph(rng, 30, 5, 0.3, 0.8, 0.05)
+	opts := Options{D: 2, S: 3, K: 3, Seed: 99}
+	for name, algo := range map[string]func(*multilayer.Graph, Options) (*Result, error){
+		"greedy": GreedyDCCS, "bottomup": BottomUpDCCS, "topdown": TopDownDCCS,
+	} {
+		a, err := algo(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := algo(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.CoverSize != b.CoverSize || len(a.Cores) != len(b.Cores) {
+			t.Fatalf("%s: nondeterministic result", name)
+		}
+		for i := range a.Cores {
+			if len(a.Cores[i].Vertices) != len(b.Cores[i].Vertices) {
+				t.Fatalf("%s: nondeterministic cores", name)
+			}
+			for j := range a.Cores[i].Layers {
+				if a.Cores[i].Layers[j] != b.Cores[i].Layers[j] {
+					t.Fatalf("%s: nondeterministic layer sets", name)
+				}
+			}
+		}
+	}
+}
+
+// TestCoresAreValidDCCs checks every returned core is genuinely the d-CC
+// of its layer set: d-dense on each layer and maximal.
+func TestCoresAreValidDCCs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomCorrelatedGraph(rng, 10+rng.Intn(25), 2+rng.Intn(4), 0.35, 0.85, 0.08)
+		d := 1 + rng.Intn(3)
+		s := 1 + rng.Intn(g.L())
+		k := 1 + rng.Intn(4)
+		full := bitset.NewFull(g.N())
+		opts := Options{D: d, S: s, K: k, Seed: seed}
+		for _, algo := range []func(*multilayer.Graph, Options) (*Result, error){
+			GreedyDCCS, BottomUpDCCS, TopDownDCCS,
+		} {
+			res, err := algo(g, opts)
+			if err != nil {
+				return false
+			}
+			for _, c := range res.Cores {
+				if len(c.Layers) != s {
+					return false
+				}
+				want := kcore.DCC(g, full, c.Layers, d)
+				got := bitset.New(g.N())
+				for _, v := range c.Vertices {
+					got.Add(int(v))
+				}
+				if !got.Equal(want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSEqualsLTopDown(t *testing.T) {
+	g := figure1Graph(t)
+	res, err := TopDownDCCS(g, Options{D: 3, S: 4, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C^3_{0,1,2,3} = the 9-vertex block.
+	if res.CoverSize != 9 {
+		t.Fatalf("CoverSize = %d, want 9", res.CoverSize)
+	}
+}
+
+func TestPreprocessingTogglesPreserveResultQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := testutil.RandomCorrelatedGraph(rng, 40, 5, 0.25, 0.8, 0.05)
+	base := Options{D: 2, S: 2, K: 3, Seed: 7}
+	ref, err := BottomUpDCCS(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string]Options{
+		"No-VD":  {D: 2, S: 2, K: 3, Seed: 7, NoVertexDeletion: true},
+		"No-SL":  {D: 2, S: 2, K: 3, Seed: 7, NoSortLayers: true},
+		"No-IR":  {D: 2, S: 2, K: 3, Seed: 7, NoInitResult: true},
+		"No-Pre": {D: 2, S: 2, K: 3, Seed: 7, NoVertexDeletion: true, NoSortLayers: true, NoInitResult: true},
+	} {
+		res, err := BottomUpDCCS(g, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Preprocessing affects speed, not the approximation guarantee;
+		// coverages should be within the mutual 4x band.
+		if 4*res.CoverSize < ref.CoverSize || 4*ref.CoverSize < res.CoverSize {
+			t.Errorf("%s: coverage %d vs baseline %d", name, res.CoverSize, ref.CoverSize)
+		}
+		td, err := TopDownDCCS(g, opts)
+		if err != nil {
+			t.Fatalf("%s (TD): %v", name, err)
+		}
+		if 4*td.CoverSize < ref.CoverSize {
+			t.Errorf("%s (TD): coverage %d vs baseline %d", name, td.CoverSize, ref.CoverSize)
+		}
+	}
+}
+
+func TestTopDownLayerLimit(t *testing.T) {
+	g := multilayer.NewBuilder(4, 65).Build()
+	if _, err := TopDownDCCS(g, Options{D: 1, S: 1, K: 1}); err == nil {
+		t.Fatal("expected error for l > 64")
+	}
+}
+
+func TestGreedySelectionOrder(t *testing.T) {
+	g := figure1Graph(t)
+	res, err := GreedyDCCS(g, Options{D: 3, S: 2, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy must pick the largest candidate first: C^3_{1,3} (12 vertices).
+	if len(res.Cores[0].Vertices) != 12 {
+		t.Fatalf("first greedy pick has %d vertices, want 12", len(res.Cores[0].Vertices))
+	}
+}

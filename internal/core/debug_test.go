@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/multilayer"
+	"repro/internal/testutil"
+)
+
+// TestFullEnumerationSweep is a deterministic regression sweep over many
+// seeds: with result initialization disabled and k above the candidate
+// count, every algorithm must cover the full candidate union.
+func TestFullEnumerationSweep(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomCorrelatedGraph(rng, 8+rng.Intn(20), 2+rng.Intn(4), 0.35, 0.85, 0.08)
+		d := 1 + rng.Intn(3)
+		s := 1 + rng.Intn(g.L())
+		cands := naiveCandidates(g, d, s)
+		union := bitset.New(g.N())
+		for _, c := range cands {
+			for _, v := range c.Vertices {
+				union.Add(int(v))
+			}
+		}
+		k := len(cands) + 3
+		opts := Options{D: d, S: s, K: k, Seed: seed, NoInitResult: true}
+		for name, algo := range map[string]func(*multilayer.Graph, Options) (*Result, error){
+			"greedy": GreedyDCCS, "bottomup": BottomUpDCCS, "topdown": TopDownDCCS,
+		} {
+			res, err := algo(g, opts)
+			if err != nil {
+				t.Fatalf("seed=%d %s: %v", seed, name, err)
+			}
+			if res.CoverSize != union.Count() {
+				t.Fatalf("seed=%d %s: cover=%d want=%d (n=%d l=%d d=%d s=%d k=%d cands=%d)",
+					seed, name, res.CoverSize, union.Count(), g.N(), g.L(), d, s, k, len(cands))
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/kcore"
+	"repro/internal/multilayer"
+)
+
+// tdIndex is the removal-hierarchy index of §V-C. Vertices are removed
+// from the (preprocessed) graph in batches: at threshold h, every vertex
+// whose support Num(v) has dropped to ≤ h is removed, cores are
+// recomputed, and the process repeats before h advances. Each batch is
+// one level; I_h is the union of the levels processed at threshold h.
+// Each vertex records the layer set L(v) whose d-cores contained it just
+// before its batch was removed.
+//
+// The index justifies two prunings used by RefineC:
+//
+//   - Lemma 8: C^d_{L′} ⊆ ∪_{h ≥ |L′|} I_h, since the first member of any
+//     d-CC to be removed still has all members present, hence support
+//     ≥ |L′|, and thresholds only grow.
+//   - Lemma 9: every member of C^d_{L′} is reachable from a "seed" vertex
+//     w0 with L′ ⊆ L(w0) along index edges ascending through the levels.
+type tdIndex struct {
+	h        []int32   // threshold at which the vertex was removed
+	level    []int32   // 1-based batch number (global, increasing)
+	lmask    []uint64  // L(v) as an original-layer bitmask
+	levels   [][]int32 // levels[i] = vertices of batch i+1
+	unionAdj [][]int32 // index edges: union adjacency among indexed vertices
+}
+
+// buildIndex constructs the removal-hierarchy index of the subgraph of g
+// induced by alive, for degree threshold d. It requires l(g) ≤ 64.
+func buildIndex(g *multilayer.Graph, d int, alive *bitset.Set) *tdIndex {
+	n := g.N()
+	idx := &tdIndex{
+		h:     make([]int32, n),
+		level: make([]int32, n),
+		lmask: make([]uint64, n),
+	}
+	tr := kcore.NewTracker(g, d, alive)
+
+	// Bucket queue over support counts. Stale entries are tolerated and
+	// validated against the tracker on pop; each vertex re-enters a
+	// bucket at most once per Num decrement, so the total work is
+	// O(n·l) plus the tracker's own O(Σ m_i).
+	buckets := make([][]int32, g.L()+1)
+	inBatch := make([]bool, n)
+	alive.ForEach(func(v int) bool {
+		buckets[tr.Num(v)] = append(buckets[tr.Num(v)], int32(v))
+		return true
+	})
+	tr.NumListener = func(v int) {
+		buckets[tr.Num(v)] = append(buckets[tr.Num(v)], int32(v))
+	}
+
+	level := int32(0)
+	for h := 1; h <= g.L(); h++ {
+		for {
+			// Collect the batch: all still-alive vertices whose current
+			// support is ≤ h.
+			var batch []int32
+			for c := 0; c <= h; c++ {
+				kept := buckets[c][:0]
+				for _, v32 := range buckets[c] {
+					v := int(v32)
+					switch {
+					case !tr.Alive().Contains(v) || inBatch[v]:
+						// removed already, or stale duplicate
+					case tr.Num(v) != c:
+						// stale entry; the vertex lives in another bucket
+					default:
+						inBatch[v] = true
+						batch = append(batch, v32)
+					}
+				}
+				buckets[c] = kept
+			}
+			if len(batch) == 0 {
+				break
+			}
+			level++
+			// Record L(v) for the whole batch before any removal: the
+			// paper evaluates the core memberships "just before v is
+			// removed from G in batch".
+			for _, v32 := range batch {
+				v := int(v32)
+				idx.h[v] = int32(h)
+				idx.level[v] = level
+				idx.lmask[v] = tr.CoreLayers(v)
+			}
+			idx.levels = append(idx.levels, batch)
+			for _, v32 := range batch {
+				tr.RemoveVertex(int(v32))
+			}
+		}
+	}
+
+	// Index edges: union adjacency restricted to the indexed vertices.
+	idx.unionAdj = make([][]int32, n)
+	alive.ForEach(func(v int) bool {
+		all := g.UnionNeighbors(v)
+		kept := all[:0]
+		for _, u := range all {
+			if alive.Contains(int(u)) {
+				kept = append(kept, u)
+			}
+		}
+		idx.unionAdj[v] = kept
+		return true
+	})
+	return idx
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/coverage"
+	"repro/internal/kcore"
+	"repro/internal/multilayer"
+)
+
+// prep holds the state shared by the DCCS algorithms after the §IV-C
+// preprocessing: the alive vertex set left by vertex deletion, the
+// per-layer d-cores of the reduced graph, and the layer permutation
+// induced by layer sorting.
+type prep struct {
+	g     *multilayer.Graph
+	opts  Options
+	alive *bitset.Set
+	cores []*bitset.Set // per original layer, restricted to alive
+	order []int         // position -> original layer id
+	rng   *rand.Rand
+	stats Stats
+}
+
+// preprocess runs vertex deletion (lines 1–7 of BU-DCCS, Fig 7) and
+// computes the per-layer d-cores of the reduced graph. Layer sorting and
+// result initialization are applied separately by each algorithm since
+// their direction differs (BU sorts descending, TD ascending, GD is
+// order-insensitive).
+func preprocess(g *multilayer.Graph, opts Options) *prep {
+	p := &prep{
+		g:    g,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+	tr := kcore.NewTracker(g, opts.D, nil)
+	if !opts.NoVertexDeletion {
+		// Remove every vertex whose support Num(v) — the number of layers
+		// whose d-core contains it — is below s, until a fixpoint.
+		for {
+			var victims []int
+			tr.Alive().ForEach(func(v int) bool {
+				if tr.Num(v) < opts.S {
+					victims = append(victims, v)
+				}
+				return true
+			})
+			if len(victims) == 0 {
+				break
+			}
+			for _, v := range victims {
+				tr.RemoveVertex(v)
+			}
+			p.stats.PreprocessRemoved += len(victims)
+		}
+	}
+	p.alive = tr.Alive().Clone()
+	p.cores = make([]*bitset.Set, g.L())
+	for i := 0; i < g.L(); i++ {
+		p.cores[i] = tr.Core(i).Clone()
+	}
+	p.order = make([]int, g.L())
+	for i := range p.order {
+		p.order[i] = i
+	}
+	return p
+}
+
+// sortLayers fixes the layer permutation: descending |C^d(G_i)| for the
+// bottom-up algorithm, ascending for the top-down algorithm (§IV-C,
+// §V-D). Ties break on the original layer id for determinism.
+func (p *prep) sortLayers(ascending bool) {
+	if p.opts.NoSortLayers {
+		return
+	}
+	sort.SliceStable(p.order, func(a, b int) bool {
+		ca, cb := p.cores[p.order[a]].Count(), p.cores[p.order[b]].Count()
+		if ca != cb {
+			if ascending {
+				return ca < cb
+			}
+			return ca > cb
+		}
+		return p.order[a] < p.order[b]
+	})
+}
+
+// layersOf maps sorted search positions to sorted original layer ids.
+func (p *prep) layersOf(positions []int) []int {
+	out := make([]int, len(positions))
+	for i, pos := range positions {
+		out[i] = p.order[pos]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// initTopK seeds the result set with k greedily constructed candidates,
+// the InitTopK procedure of Appendix D: pick the layer whose d-core adds
+// the most uncovered vertices, grow its layer set to size s by maximum
+// d-core intersection, compute the d-CC, and update R; repeat k times.
+func (p *prep) initTopK(topk *coverage.TopK) {
+	if p.opts.NoInitResult {
+		return
+	}
+	g, d, s, k := p.g, p.opts.D, p.opts.S, p.opts.K
+	for pass := 0; pass < k; pass++ {
+		best, bestGain := -1, -1
+		for i := 0; i < g.L(); i++ {
+			gain := 0
+			p.cores[i].ForEach(func(v int) bool {
+				if !topk.Covered(v) {
+					gain++
+				}
+				return true
+			})
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		L := []int{best}
+		C := p.cores[best].Clone()
+		for len(L) < s {
+			bestJ, bestInter := -1, -1
+			for j := 0; j < g.L(); j++ {
+				if containsInt(L, j) {
+					continue
+				}
+				if inter := C.CountAnd(p.cores[j]); inter > bestInter {
+					bestJ, bestInter = j, inter
+				}
+			}
+			L = append(L, bestJ)
+			C.And(p.cores[bestJ])
+		}
+		sort.Ints(L)
+		cc := kcore.DCC(g, C, L, d)
+		p.stats.DCCCalls++
+		if topk.Update(cc.Slice32(), L) {
+			p.stats.Updates++
+		}
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// finish assembles the Result from the final top-k set, sorting cores by
+// layer set for deterministic output. Entries with identical layer sets
+// (possible when InitTopK builds the same greedy candidate twice) carry
+// identical d-CCs, so only one representative is kept; coverage is
+// unaffected.
+func (p *prep) finish(topk *coverage.TopK) *Result {
+	res := &Result{CoverSize: topk.CoverSize(), Stats: p.stats}
+	seen := map[string]bool{}
+	for _, e := range topk.Entries() {
+		key := fmt.Sprint(e.Layers)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		res.Cores = append(res.Cores, CC{Layers: e.Layers, Vertices: e.Vertices})
+	}
+	sort.Slice(res.Cores, func(a, b int) bool {
+		return lessIntSlices(res.Cores[a].Layers, res.Cores[b].Layers)
+	})
+	return res
+}
+
+func lessIntSlices(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/kcore"
+)
+
+// Vertex states used by refineC (Fig 10). Unexplored must be the zero
+// value: the scratch state array is reset to zero after every call.
+const (
+	stUnexplored   = 0
+	stUndetermined = 1
+	stDiscarded    = 2
+)
+
+// refineU shrinks the parent's potential vertex set U^d_L to U^d_{L′}
+// (Fig 9). L′ splits into Class 1 layers M (positions below the largest
+// missing position, which no descendant can drop) and Class 2 layers N
+// (the rest):
+//
+//   - Rule 2: a vertex surviving in some descendant C^d_S with |S| = s
+//     must belong to the d-cores of at least s − |M| layers of N.
+//   - Rule 1: it must have degree ≥ d inside U on every layer of M.
+//
+// The global per-layer d-cores do not change while U shrinks, so Rule 2
+// needs a single pass, after which Rule 1 is exactly a multi-layer peel;
+// the combination reaches the same fixpoint as the paper's repeat-until
+// loop.
+func (t *tdSearch) refineU(u *bitset.Set, lpos []int) *bitset.Set {
+	p := t.prep
+	maxMissing := maxMissingPos(lpos, p.g.L())
+	var mLayers []int
+	var nPos []int
+	for _, pos := range lpos {
+		if pos < maxMissing {
+			mLayers = append(mLayers, p.order[pos])
+		} else {
+			nPos = append(nPos, pos)
+		}
+	}
+
+	cur := u.Clone()
+	if need := p.opts.S - len(mLayers); need > 0 {
+		counts := t.scratchCounts
+		cur.ForEach(func(v int) bool {
+			counts[v] = 0
+			return true
+		})
+		for _, pos := range nPos {
+			core := p.cores[p.order[pos]]
+			cur.ForEach(func(v int) bool {
+				if core.Contains(v) {
+					counts[v]++
+				}
+				return true
+			})
+		}
+		cur.Clone().ForEach(func(v int) bool {
+			if int(counts[v]) < need {
+				cur.Remove(v)
+			}
+			return true
+		})
+	}
+	if len(mLayers) == 0 {
+		return cur
+	}
+	p.stats.DCCCalls++
+	return kcore.DCC(p.g, cur, mLayers, p.opts.D)
+}
+
+// maxMissingPos returns max([l] − L) over search positions, or -1 when L
+// is the full position set. lpos must be sorted ascending.
+func maxMissingPos(lpos []int, l int) int {
+	want := l - 1
+	for i := len(lpos) - 1; i >= 0; i-- {
+		if lpos[i] != want {
+			break
+		}
+		want--
+	}
+	return want
+}
+
+// removablePos returns the positions of L that may still be dropped in
+// descendants: {j ∈ L : j > max([l] − L)} (§V-A). lpos must be sorted.
+func removablePos(lpos []int, l int) []int {
+	mm := maxMissingPos(lpos, l)
+	var out []int
+	for _, pos := range lpos {
+		if pos > mm {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// refineC computes the exact C^d_{L′} inside the potential set U (Fig 10).
+//
+// The search scope is narrowed to Z = U ∩ ∪_{h ≥ |L′|} I_h (Lemma 8) and
+// then walked level by level: vertices proven outside the core are
+// *discarded* (cascading exact d⁺ counter maintenance over the layers of
+// L′); vertices that may belong are *undetermined*. A vertex enters the
+// undetermined state either as a seed — L′ ⊆ L(v), the start of a Lemma 9
+// sequence — or by being reached from an undetermined vertex along an
+// index edge that does not descend the level order. Every transition into
+// the undetermined state performs the degree test immediately.
+//
+// Two deliberate strengthenings over the printed pseudocode (see
+// DESIGN.md): the seed test is applied to unexplored vertices on every
+// level (the paper's Case 2 discards them unconditionally, which can drop
+// single-vertex Lemma 9 sequences), and marking reaches same-level
+// neighbours (the printed marking is strictly upward, which can orphan
+// members whose support sits entirely in their own batch). Both keep the
+// result d-dense, hence still ⊆ C^d_{L′}; tests check exact equality with
+// the dCC reference on randomized instances.
+func (t *tdSearch) refineC(u *bitset.Set, lpos []int) *bitset.Set {
+	p := t.prep
+	g, d := p.g, p.opts.D
+	layers := p.layersOf(lpos)
+	need := int32(len(lpos))
+
+	// Lemma 8 scope.
+	z := bitset.New(g.N())
+	u.ForEach(func(v int) bool {
+		if t.idx.h[v] >= need {
+			z.Add(v)
+		}
+		return true
+	})
+	p.stats.DCCCalls++
+	if p.opts.UseDCCRefine {
+		return kcore.DCC(g, z, layers, d)
+	}
+
+	var wantMask uint64
+	for _, ly := range layers {
+		wantMask |= 1 << uint(ly)
+	}
+
+	// Initialize d⁺ counters: per layer of L′, the number of
+	// non-discarded neighbours inside Z.
+	state := t.state
+	dplus := t.dplus[:len(layers)]
+	z.ForEach(func(v int) bool {
+		for i, ly := range layers {
+			dplus[i][v] = int32(g.DegreeIn(ly, v, z))
+		}
+		return true
+	})
+
+	// Group Z by index level, ascending.
+	members := z.Slice32()
+	sortByLevel(members, t.idx.level)
+
+	discard := func(v int) {
+		state[v] = stDiscarded
+		stack := t.scratchStack[:0]
+		stack = append(stack, int32(v))
+		for len(stack) > 0 {
+			x := int(stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+			for i, ly := range layers {
+				for _, u32 := range g.Neighbors(ly, x) {
+					uu := int(u32)
+					if !z.Contains(uu) || state[uu] == stDiscarded {
+						continue
+					}
+					dplus[i][uu]--
+					if state[uu] == stUndetermined && dplus[i][uu] < int32(d) {
+						state[uu] = stDiscarded
+						stack = append(stack, u32)
+					}
+				}
+			}
+		}
+		t.scratchStack = stack[:0]
+	}
+
+	degreeOK := func(v int) bool {
+		for i := range layers {
+			if dplus[i][v] < int32(d) {
+				return false
+			}
+		}
+		return true
+	}
+
+	queue := t.scratchQueue[:0]
+	for lo := 0; lo < len(members); {
+		hi := lo
+		lev := t.idx.level[members[lo]]
+		for hi < len(members) && t.idx.level[members[hi]] == lev {
+			hi++
+		}
+		levelMembers := members[lo:hi]
+		lo = hi
+
+		// Phase A: vertices already undetermined (marked from below) are
+		// degree-checked and propagate marks; same-level marks join this
+		// queue, upward marks wait for their own level.
+		queue = queue[:0]
+		for _, v32 := range levelMembers {
+			if state[v32] == stUndetermined {
+				queue = append(queue, v32)
+			}
+		}
+		processQueue := func() {
+			for len(queue) > 0 {
+				v := int(queue[len(queue)-1])
+				queue = queue[:len(queue)-1]
+				if state[v] != stUndetermined {
+					continue // discarded by a cascade in the meantime
+				}
+				if !degreeOK(v) {
+					discard(v)
+					continue
+				}
+				for _, u32 := range t.idx.unionAdj[v] {
+					uu := int(u32)
+					if z.Contains(uu) && state[uu] == stUnexplored && t.idx.level[uu] >= lev {
+						state[uu] = stUndetermined
+						if t.idx.level[uu] == lev {
+							queue = append(queue, u32)
+						}
+					}
+				}
+			}
+		}
+		processQueue()
+
+		// Phase B: remaining unexplored vertices are either seeds
+		// (L′ ⊆ L(v)) — which join the undetermined set and may revive
+		// same-level neighbours — or provably outside C^d_{L′} (Lemma 9).
+		for _, v32 := range levelMembers {
+			v := int(v32)
+			if state[v] != stUnexplored {
+				continue
+			}
+			if t.idx.lmask[v]&wantMask == wantMask {
+				state[v] = stUndetermined
+				queue = append(queue, v32)
+				processQueue()
+			} else {
+				discard(v)
+			}
+		}
+	}
+	t.scratchQueue = queue[:0]
+
+	// The undetermined vertices are exactly C^d_{L′} (degree feasibility
+	// is enforced on every state transition and by the cascades).
+	out := bitset.New(g.N())
+	for _, v32 := range members {
+		if state[v32] == stUndetermined {
+			out.Add(int(v32))
+		}
+		state[v32] = stUnexplored // reset scratch for the next call
+	}
+	return out
+}
+
+// sortByLevel sorts vertices ascending by their index level (stable
+// enough for determinism: level ties keep ascending vertex id because the
+// input arrives in ascending id order and insertion sort is stable...
+// use a simple two-key comparison instead).
+func sortByLevel(vs []int32, level []int32) {
+	// Levels are small dense integers; counting sort would work, but the
+	// slices here are per-call and modest, so use sort.Slice semantics
+	// implemented inline to avoid the closure allocation in hot paths.
+	quickSortByLevel(vs, level)
+}
+
+func quickSortByLevel(vs []int32, level []int32) {
+	if len(vs) < 16 {
+		for i := 1; i < len(vs); i++ {
+			for j := i; j > 0 && less2(vs[j], vs[j-1], level); j-- {
+				vs[j], vs[j-1] = vs[j-1], vs[j]
+			}
+		}
+		return
+	}
+	pivot := vs[len(vs)/2]
+	left, right := 0, len(vs)-1
+	for left <= right {
+		for less2(vs[left], pivot, level) {
+			left++
+		}
+		for less2(pivot, vs[right], level) {
+			right--
+		}
+		if left <= right {
+			vs[left], vs[right] = vs[right], vs[left]
+			left++
+			right--
+		}
+	}
+	quickSortByLevel(vs[:right+1], level)
+	quickSortByLevel(vs[left:], level)
+}
+
+func less2(a, b int32, level []int32) bool {
+	if level[a] != level[b] {
+		return level[a] < level[b]
+	}
+	return a < b
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/coverage"
+	"repro/internal/kcore"
+	"repro/internal/multilayer"
+	"repro/internal/testutil"
+)
+
+func TestMaxMissingPos(t *testing.T) {
+	cases := []struct {
+		lpos []int
+		l    int
+		want int
+	}{
+		{[]int{0, 1, 2, 3}, 4, -1}, // full set
+		{[]int{0, 1, 3}, 4, 2},     // missing 2
+		{[]int{1, 2, 3}, 4, 0},     // missing 0
+		{[]int{0, 3}, 4, 2},        // missing 1,2
+		{[]int{3}, 4, 2},           //
+		{[]int{0, 1}, 4, 3},        // missing 2,3
+		{[]int{}, 4, 3},            // empty
+	}
+	for _, c := range cases {
+		if got := maxMissingPos(c.lpos, c.l); got != c.want {
+			t.Errorf("maxMissingPos(%v, %d) = %d, want %d", c.lpos, c.l, got, c.want)
+		}
+	}
+}
+
+func TestRemovablePos(t *testing.T) {
+	got := removablePos([]int{0, 1, 3}, 4) // maxMissing = 2
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("removablePos = %v, want [3]", got)
+	}
+	got = removablePos([]int{0, 1, 2, 3}, 4) // root: all removable
+	if len(got) != 4 {
+		t.Fatalf("removablePos(full) = %v", got)
+	}
+	got = removablePos([]int{0, 1}, 4) // maxMissing = 3: nothing removable
+	if len(got) != 0 {
+		t.Fatalf("removablePos = %v, want []", got)
+	}
+}
+
+func TestRemovePos(t *testing.T) {
+	got := removePos([]int{0, 2, 5}, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 5 {
+		t.Fatalf("removePos = %v", got)
+	}
+}
+
+// newTDSearchForTest builds a tdSearch over a preprocessed graph, exactly
+// as TopDownDCCS does, exposing refineU/refineC for direct testing.
+func newTDSearchForTest(g *multilayer.Graph, opts Options) *tdSearch {
+	p := preprocess(g, opts)
+	p.sortLayers(true)
+	t := &tdSearch{
+		prep:          p,
+		topk:          coverage.New(g.N(), opts.K),
+		idx:           buildIndex(g, opts.D, p.alive),
+		state:         make([]uint8, g.N()),
+		scratchCounts: make([]int32, g.N()),
+	}
+	t.dplus = make([][]int32, g.L())
+	for i := range t.dplus {
+		t.dplus[i] = make([]int32, g.N())
+	}
+	return t
+}
+
+// TestRefineCExact verifies RefineC(U, L′) == dCC(G[U], L′) — which equals
+// C^d_{L′}(G) whenever C^d_{L′}(G) ⊆ U, the search invariant — on
+// randomized graphs, layer subsets, and supersets U.
+func TestRefineCExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomCorrelatedGraph(rng, 8+rng.Intn(30), 2+rng.Intn(5), 0.3, 0.85, 0.08)
+		d := 1 + rng.Intn(3)
+		s := 1 + rng.Intn(g.L())
+		opts := Options{D: d, S: s, K: 2, Seed: seed, NoVertexDeletion: rng.Intn(2) == 0}
+		ts := newTDSearchForTest(g, opts)
+		p := ts.prep
+
+		for trial := 0; trial < 4; trial++ {
+			size := s + rng.Intn(g.L()-s+1)
+			lpos := testutil.RandomLayerSubset(rng, g.L(), size)
+			layers := p.layersOf(lpos)
+			// True d-CC on the preprocessed graph.
+			truth := kcore.DCC(g, p.alive, layers, d)
+			// U must contain the d-CC; pad with random alive vertices.
+			u := truth.Clone()
+			p.alive.ForEach(func(v int) bool {
+				if rng.Float64() < 0.4 {
+					u.Add(v)
+				}
+				return true
+			})
+			got := ts.refineC(u, lpos)
+			if !got.Equal(truth) {
+				t.Logf("seed=%d d=%d s=%d lpos=%v |U|=%d: refineC=%d truth=%d",
+					seed, d, s, lpos, u.Count(), got.Count(), truth.Count())
+				return false
+			}
+			// Scratch state must be clean for the next call.
+			for v := 0; v < g.N(); v++ {
+				if ts.state[v] != stUnexplored {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefineCMatchesDCCRefine checks the two refinement paths (index
+// level-search vs plain dCC on the Lemma 8 scope) agree.
+func TestRefineCMatchesDCCRefine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomCorrelatedGraph(rng, 10+rng.Intn(25), 3+rng.Intn(4), 0.3, 0.85, 0.08)
+		d := 1 + rng.Intn(3)
+		s := 1 + rng.Intn(g.L())
+		a := Options{D: d, S: s, K: 3, Seed: seed}
+		b := a
+		b.UseDCCRefine = true
+		ra, err1 := TopDownDCCS(g, a)
+		rb, err2 := TopDownDCCS(g, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if ra.CoverSize != rb.CoverSize || len(ra.Cores) != len(rb.Cores) {
+			return false
+		}
+		for i := range ra.Cores {
+			if len(ra.Cores[i].Vertices) != len(rb.Cores[i].Vertices) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefineUSound verifies the potential-set invariants: U′ ⊆ U,
+// C^d_S ⊆ U′ for every size-s descendant S of L′, and C^d_{L′} ⊆ U′.
+func TestRefineUSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomCorrelatedGraph(rng, 8+rng.Intn(25), 3+rng.Intn(4), 0.3, 0.85, 0.08)
+		d := 1 + rng.Intn(3)
+		s := 1 + rng.Intn(g.L()-1)
+		opts := Options{D: d, S: s, K: 2, Seed: seed}
+		ts := newTDSearchForTest(g, opts)
+		p := ts.prep
+
+		// Start from the root potential set (alive) and walk a random
+		// chain of the top-down tree, checking invariants at each step.
+		lpos := make([]int, g.L())
+		for i := range lpos {
+			lpos[i] = i
+		}
+		u := p.alive.Clone()
+		for len(lpos) > s {
+			rem := removablePos(lpos, g.L())
+			if len(rem) == 0 {
+				break
+			}
+			j := rem[rng.Intn(len(rem))]
+			lchild := removePos(lpos, j)
+			u2 := ts.refineU(u, lchild)
+			if !u2.SubsetOf(u) {
+				return false
+			}
+			// C^d_{L′} must be inside U′.
+			cc := kcore.DCC(g, p.alive, p.layersOf(lchild), d)
+			if !cc.SubsetOf(u2) {
+				return false
+			}
+			// Every size-s descendant's d-CC must be inside U′.
+			for trial := 0; trial < 3; trial++ {
+				sub := randomDescendantOf(rng, lchild, g.L(), s)
+				if sub == nil {
+					break
+				}
+				cs := kcore.DCC(g, p.alive, p.layersOf(sub), d)
+				if !cs.SubsetOf(u2) {
+					return false
+				}
+			}
+			lpos, u = lchild, u2
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomDescendantOf mirrors tdSearch.randomDescendant for tests.
+func randomDescendantOf(rng *rand.Rand, lpos []int, l, s int) []int {
+	rem := removablePos(lpos, l)
+	drop := len(lpos) - s
+	if drop <= 0 || len(rem) < drop {
+		return nil
+	}
+	perm := rng.Perm(len(rem))[:drop]
+	dropSet := map[int]bool{}
+	for _, i := range perm {
+		dropSet[rem[i]] = true
+	}
+	var out []int
+	for _, p := range lpos {
+		if !dropSet[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestIndexLemma8 checks the index invariant behind Lemma 8: for every
+// layer subset L′ tried, C^d_{L′} only contains vertices with h(v) ≥ |L′|,
+// and the lowest-level members of C^d_{L′} carry L′ ⊆ L(v) (the seeds of
+// Lemma 9).
+func TestIndexLemma8(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomCorrelatedGraph(rng, 8+rng.Intn(25), 2+rng.Intn(4), 0.3, 0.85, 0.08)
+		d := 1 + rng.Intn(3)
+		alive := bitset.NewFull(g.N())
+		idx := buildIndex(g, d, alive)
+
+		// The index partitions all vertices.
+		seen := bitset.New(g.N())
+		for _, lv := range idx.levels {
+			for _, v := range lv {
+				if !seen.Add(int(v)) {
+					return false
+				}
+			}
+		}
+		if seen.Count() != g.N() {
+			return false
+		}
+
+		for trial := 0; trial < 5; trial++ {
+			size := 1 + rng.Intn(g.L())
+			layers := testutil.RandomLayerSubset(rng, g.L(), size)
+			cc := kcore.DCC(g, alive, layers, d)
+			if cc.Empty() {
+				continue
+			}
+			minLevel := int32(1 << 30)
+			cc.ForEach(func(v int) bool {
+				if idx.h[v] < int32(size) {
+					return false
+				}
+				if idx.level[v] < minLevel {
+					minLevel = idx.level[v]
+				}
+				return true
+			})
+			var want uint64
+			for _, ly := range layers {
+				want |= 1 << uint(ly)
+			}
+			ok := true
+			cc.ForEach(func(v int) bool {
+				if idx.h[v] < int32(size) {
+					ok = false // Lemma 8 violated
+					return false
+				}
+				if idx.level[v] == minLevel && idx.lmask[v]&want != want {
+					ok = false // lowest-batch member must be a seed
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/coverage"
+	"repro/internal/kcore"
+	"repro/internal/multilayer"
+)
+
+// TopDownDCCS implements the TD-DCCS algorithm (Figs 8 and 11): the
+// layer-subset tree is searched from the full layer set [l] down to level
+// s. Each node carries both its d-CC C^d_L and a potential vertex set
+// U^d_L that over-approximates every size-s descendant; children are
+// produced by RefineU (shrinking U) and RefineC (recovering the exact
+// d-CC over the removal-hierarchy index), and subtrees are pruned with
+// Lemmas 5–7. Approximation ratio 1/4 (Theorem 4). It is the preferred
+// algorithm when s ≥ l(G)/2.
+//
+// The implementation supports l(G) ≤ 64 (layer sets are bitmasks); the
+// paper's largest dataset has 24 layers.
+func TopDownDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
+	if err := opts.Validate(g); err != nil {
+		return nil, err
+	}
+	if g.L() > 64 {
+		return nil, fmt.Errorf("dccs: top-down algorithm supports at most 64 layers, got %d", g.L())
+	}
+	start := time.Now()
+	p := preprocess(g, opts)
+	topk := coverage.New(g.N(), opts.K)
+	p.initTopK(topk)
+	p.sortLayers(true) // ascending |C^d(G_i)| (§V-D)
+
+	t := &tdSearch{
+		prep:          p,
+		topk:          topk,
+		idx:           buildIndex(g, opts.D, p.alive),
+		state:         make([]uint8, g.N()),
+		scratchCounts: make([]int32, g.N()),
+	}
+	t.dplus = make([][]int32, g.L())
+	for i := range t.dplus {
+		t.dplus[i] = make([]int32, g.N())
+	}
+
+	// Root: C^d_[l] computed by dCC on the whole (preprocessed) graph.
+	full := make([]int, g.L())
+	for i := range full {
+		full[i] = i
+	}
+	p.stats.DCCCalls++
+	rootC := kcore.DCC(g, p.alive, p.layersOf(full), opts.D)
+	p.stats.TreeNodes++
+	if opts.S == g.L() {
+		p.stats.Candidates++
+		if topk.Update(rootC.Slice32(), p.layersOf(full)) {
+			p.stats.Updates++
+		}
+	} else {
+		t.gen(full, rootC, p.alive)
+	}
+
+	res := p.finish(topk)
+	p.stats.Elapsed = time.Since(start)
+	res.Stats = p.stats
+	return res, nil
+}
+
+// tdSearch carries the state of one top-down run, including the scratch
+// buffers reused across refineC calls.
+type tdSearch struct {
+	prep *prep
+	topk *coverage.TopK
+	idx  *tdIndex
+
+	state         []uint8
+	dplus         [][]int32
+	scratchCounts []int32
+	scratchStack  []int32
+	scratchQueue  []int32
+}
+
+// gen is the TD-Gen procedure (Fig 8). L (ascending positions, |L| > s)
+// is the current node with d-CC cL and potential set uL.
+//
+// Two printed-pseudocode fixes are applied (see DESIGN.md): the recursive
+// calls pass the child's layer set L′ (the figure writes L), and the
+// Lemma 5 subtree pruning tests Eq. (1) on the potential set U^d_{L′} as
+// the text and the lemma require (the figure tests C^d_{L′}, which would
+// discard subtrees whose descendants — supersets of C^d_{L′} — could
+// still qualify).
+func (t *tdSearch) gen(L []int, cL, uL *bitset.Set) {
+	p := t.prep
+	l := p.g.L()
+	s := p.opts.S
+	if p.opts.MaxTreeNodes > 0 && p.stats.TreeNodes >= p.opts.MaxTreeNodes {
+		p.stats.Truncated = true
+		return
+	}
+	p.stats.TreeNodes++
+
+	lr := removablePos(L, l)
+	// A node needs |L|−s removable positions for any size-s descendant
+	// to exist below it; dead branches of the enumeration tree are cut.
+	if len(lr) < len(L)-s {
+		return
+	}
+
+	// Compute the children's potential sets (the sort key of the pruned
+	// branch); the exact child d-CCs are recovered lazily.
+	childU := make(map[int]*bitset.Set, len(lr))
+	for _, j := range lr {
+		childU[j] = t.refineU(uL, removePos(L, j))
+	}
+
+	if t.topk.Len() < t.topk.K() {
+		for _, j := range lr {
+			lchild := removePos(L, j)
+			if len(lchild) == s {
+				cc := t.refineC(childU[j], lchild)
+				p.stats.Candidates++
+				if t.topk.Update(cc.Slice32(), p.layersOf(lchild)) {
+					p.stats.Updates++
+				}
+			} else if childU[j].Empty() && !p.opts.NoEq1Pruning {
+				// Empty-subtree cut: U over-approximates every size-s
+				// descendant, so an empty potential set spans a subtree
+				// of empty candidates (see the matching cut in BU-Gen).
+				p.stats.Pruned++
+			} else {
+				cc := t.refineC(childU[j], lchild)
+				t.gen(lchild, cc, childU[j])
+			}
+		}
+		return
+	}
+
+	sorted := append([]int(nil), lr...)
+	if !p.opts.NoOrderPruning {
+		sort.SliceStable(sorted, func(a, b int) bool {
+			return childU[sorted[a]].Count() > childU[sorted[b]].Count()
+		})
+	}
+	for rank, j := range sorted {
+		if !p.opts.NoOrderPruning && !t.topk.MeetsSizeBound(childU[j].Count()) {
+			// Lemma 6: |U| is an upper bound on every descendant d-CC;
+			// below the Eq. (1) size bound neither this child nor — by
+			// the sort order — any later one can contribute.
+			p.stats.Pruned += len(sorted) - rank
+			break
+		}
+		lchild := removePos(L, j)
+		if len(lchild) == s {
+			cc := t.refineC(childU[j], lchild)
+			p.stats.Candidates++
+			if t.topk.Update(cc.Slice32(), p.layersOf(lchild)) {
+				p.stats.Updates++
+			}
+			continue
+		}
+		if childU[j].Empty() && !p.opts.NoEq1Pruning {
+			p.stats.Pruned++ // empty-subtree cut, see the |R| < k branch
+			continue
+		}
+		// Lemma 5: if even the potential set cannot satisfy Eq. (1), no
+		// size-s descendant can; prune the subtree.
+		if !p.opts.NoEq1Pruning && !t.topk.SatisfiesEq1Set(childU[j]) {
+			p.stats.Pruned++
+			continue
+		}
+		cc := t.refineC(childU[j], lchild)
+		// Lemma 7: when the child's own d-CC already satisfies Eq. (1)
+		// — so every size-s descendant (a superset) does too — and the
+		// potential set is small enough (Eq. (2)), a single random
+		// descendant absorbs all the value the subtree can offer.
+		if !p.opts.NoPotentialPruning &&
+			t.topk.SatisfiesEq1(cc.Slice32()) && t.topk.SatisfiesEq2(childU[j].Count()) {
+			if sub := t.randomDescendant(lchild); sub != nil {
+				p.stats.DCCCalls++
+				csub := kcore.DCC(p.g, childU[j], p.layersOf(sub), p.opts.D)
+				p.stats.Candidates++
+				if t.topk.Update(csub.Slice32(), p.layersOf(sub)) {
+					p.stats.Updates++
+				}
+				p.stats.Pruned++
+				continue
+			}
+		}
+		t.gen(lchild, cc, childU[j])
+	}
+}
+
+// randomDescendant picks a uniformly random size-s descendant of lpos in
+// the top-down tree, i.e. removes |lpos|−s positions randomly chosen from
+// the removable set. It returns nil when the subtree has no size-s
+// descendant.
+func (t *tdSearch) randomDescendant(lpos []int) []int {
+	s := t.prep.opts.S
+	rem := removablePos(lpos, t.prep.g.L())
+	drop := len(lpos) - s
+	if len(rem) < drop {
+		return nil
+	}
+	perm := t.prep.rng.Perm(len(rem))[:drop]
+	dropSet := make(map[int]bool, drop)
+	for _, i := range perm {
+		dropSet[rem[i]] = true
+	}
+	out := make([]int, 0, s)
+	for _, pos := range lpos {
+		if !dropSet[pos] {
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// removePos returns lpos without position j (lpos stays sorted).
+func removePos(lpos []int, j int) []int {
+	out := make([]int, 0, len(lpos)-1)
+	for _, p := range lpos {
+		if p != j {
+			out = append(out, p)
+		}
+	}
+	return out
+}

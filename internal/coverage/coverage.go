@@ -1,0 +1,303 @@
+// Package coverage maintains the temporary top-k diversified result set R
+// of the DCCS algorithms, implementing the Update procedure of the paper's
+// Appendix C together with the quantities the pruning lemmas consume:
+// |Cov(R)|, Δ(R, C′) (the vertices exclusively covered by member C′),
+// C*(R) = argmin |Δ|, and the Eq. (1)/Eq. (2) tests.
+//
+// Instead of the paper's pair of hash tables, each vertex carries a bitmask
+// over the k member slots that cover it; all bookkeeping is O(1) per
+// (vertex, membership-change) and Update runs in O(max{|C|, |C*(R)|}),
+// matching the paper's bound.
+package coverage
+
+import (
+	"math/bits"
+
+	"repro/internal/bitset"
+)
+
+// Entry is one member of the result set: a candidate d-CC with the layer
+// subset it was computed from.
+type Entry struct {
+	Vertices []int32 // sorted vertex ids
+	Layers   []int   // sorted layer ids (w.r.t. the original layer order)
+}
+
+// TopK is the diversified top-k result set R. Create with New.
+type TopK struct {
+	n, k      int
+	stride    int      // uint64 words per vertex mask
+	cover     []uint64 // cover[v*stride : (v+1)*stride] = member slots covering v
+	entries   []*Entry // slot -> entry, nil when free
+	delta     []int    // slot -> |Δ(R, entry)|
+	free      []int    // free slot ids
+	size      int      // |R|
+	coverSize int      // |Cov(R)|
+}
+
+// New returns an empty TopK over vertex ids [0, n) holding at most k
+// entries. k must be positive.
+func New(n, k int) *TopK {
+	if k <= 0 {
+		panic("coverage: k must be positive")
+	}
+	stride := (k + 63) / 64
+	t := &TopK{
+		n:       n,
+		k:       k,
+		stride:  stride,
+		cover:   make([]uint64, n*stride),
+		entries: make([]*Entry, k),
+		delta:   make([]int, k),
+	}
+	for slot := k - 1; slot >= 0; slot-- {
+		t.free = append(t.free, slot)
+	}
+	return t
+}
+
+// Len returns |R|, the number of entries currently held.
+func (t *TopK) Len() int { return t.size }
+
+// K returns the capacity k.
+func (t *TopK) K() int { return t.k }
+
+// CoverSize returns |Cov(R)|.
+func (t *TopK) CoverSize() int { return t.coverSize }
+
+// Entries returns the current members in slot order. The returned entries
+// are owned by the TopK and must not be modified.
+func (t *TopK) Entries() []*Entry {
+	out := make([]*Entry, 0, t.size)
+	for _, e := range t.entries {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// mask returns the member-slot mask words of vertex v.
+func (t *TopK) mask(v int) []uint64 { return t.cover[v*t.stride : (v+1)*t.stride] }
+
+func popcount(words []uint64) int {
+	c := 0
+	for _, w := range words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// soleOwner returns the only set bit position; callers guarantee exactly
+// one bit is set.
+func soleOwner(words []uint64) int {
+	for i, w := range words {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	panic("coverage: soleOwner on empty mask")
+}
+
+// Covered reports whether vertex v is covered by some member of R.
+func (t *TopK) Covered(v int) bool {
+	for _, w := range t.mask(v) {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MinDeltaSlot returns the slot of C*(R) — the member exclusively covering
+// the fewest vertices — and |Δ(R, C*(R))|. It requires |R| > 0.
+func (t *TopK) MinDeltaSlot() (slot, delta int) {
+	slot = -1
+	for s, e := range t.entries {
+		if e != nil && (slot == -1 || t.delta[s] < delta) {
+			slot, delta = s, t.delta[s]
+		}
+	}
+	if slot == -1 {
+		panic("coverage: MinDeltaSlot on empty R")
+	}
+	return slot, delta
+}
+
+// MinDelta returns |Δ(R, C*(R))|, or 0 when R is empty.
+func (t *TopK) MinDelta() int {
+	if t.size == 0 {
+		return 0
+	}
+	_, d := t.MinDeltaSlot()
+	return d
+}
+
+// SizeWith returns |Cov((R − {C*(R)}) ∪ {C})| for a candidate vertex set,
+// the paper's Size procedure, in O(|C|) time. It requires |R| > 0.
+func (t *TopK) SizeWith(vertices []int32) int {
+	star, starDelta := t.MinDeltaSlot()
+	c := 0
+	for _, v32 := range vertices {
+		m := t.mask(int(v32))
+		switch popcount(m) {
+		case 0:
+			c++ // v ∈ C − Cov(R)
+		case 1:
+			if soleOwner(m) == star {
+				c++ // v ∈ C ∩ Δ(R, C*)
+			}
+		}
+	}
+	return c + t.coverSize - starDelta
+}
+
+// SizeWithSet is SizeWith for a bitset candidate (used by the top-down
+// algorithm's Lemma 5 test on potential vertex sets).
+func (t *TopK) SizeWithSet(s *bitset.Set) int {
+	star, starDelta := t.MinDeltaSlot()
+	c := 0
+	s.ForEach(func(v int) bool {
+		m := t.mask(v)
+		switch popcount(m) {
+		case 0:
+			c++
+		case 1:
+			if soleOwner(m) == star {
+				c++
+			}
+		}
+		return true
+	})
+	return c + t.coverSize - starDelta
+}
+
+// eq1Holds reports whether a candidate replacement coverage size satisfies
+// Eq. (1): size ≥ (1 + 1/k)·|Cov(R)|, evaluated in integers.
+func (t *TopK) eq1Holds(sizeWith int) bool {
+	return t.k*sizeWith >= (t.k+1)*t.coverSize
+}
+
+// SatisfiesEq1 reports whether candidate C satisfies Eq. (1), i.e. whether
+// Rule 2 would admit it when |R| = k. When |R| < k it reports true (Rule 1
+// always admits).
+func (t *TopK) SatisfiesEq1(vertices []int32) bool {
+	if t.size < t.k {
+		return true
+	}
+	return t.eq1Holds(t.SizeWith(vertices))
+}
+
+// SatisfiesEq1Set is SatisfiesEq1 for a bitset candidate.
+func (t *TopK) SatisfiesEq1Set(s *bitset.Set) bool {
+	if t.size < t.k {
+		return true
+	}
+	return t.eq1Holds(t.SizeWithSet(s))
+}
+
+// MeetsSizeBound reports whether a candidate of the given cardinality can
+// possibly satisfy Eq. (1): size ≥ |Cov(R)|/k + |Δ(R, C*(R))| (Lemmas 3
+// and 6). When |R| < k it reports true.
+func (t *TopK) MeetsSizeBound(size int) bool {
+	if t.size < t.k {
+		return true
+	}
+	return t.k*size >= t.coverSize+t.k*t.MinDelta()
+}
+
+// SatisfiesEq2 reports whether a potential vertex set of the given
+// cardinality satisfies Eq. (2):
+// size < (1/k + 1/k²)·|Cov(R)| + (1 + 1/k)·|Δ(R, C*(R))|,
+// the Lemma 7 precondition for the random-descendant shortcut. It reports
+// false when |R| < k (the lemma only applies to a full R).
+func (t *TopK) SatisfiesEq2(size int) bool {
+	if t.size < t.k {
+		return false
+	}
+	k := t.k
+	return k*k*size < (k+1)*t.coverSize+(k*k+k)*t.MinDelta()
+}
+
+// Update tries to add candidate C to R following the paper's two rules:
+// Rule 1 inserts while |R| < k; Rule 2 replaces C*(R) when Eq. (1) holds.
+// It reports whether R changed. The vertices slice is retained; callers
+// must not modify it afterwards.
+func (t *TopK) Update(vertices []int32, layers []int) bool {
+	if t.size < t.k {
+		t.insert(vertices, layers)
+		return true
+	}
+	if !t.eq1Holds(t.SizeWith(vertices)) {
+		return false
+	}
+	star, _ := t.MinDeltaSlot()
+	t.deleteSlot(star)
+	t.insert(vertices, layers)
+	return true
+}
+
+func (t *TopK) insert(vertices []int32, layers []int) {
+	slot := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	t.entries[slot] = &Entry{Vertices: vertices, Layers: layers}
+	t.delta[slot] = 0
+	w, b := slot/64, uint64(1)<<(uint(slot)%64)
+	for _, v32 := range vertices {
+		m := t.mask(int(v32))
+		switch popcount(m) {
+		case 0:
+			t.coverSize++
+			t.delta[slot]++
+		case 1:
+			t.delta[soleOwner(m)]--
+		}
+		m[w] |= b
+	}
+	t.size++
+}
+
+func (t *TopK) deleteSlot(slot int) {
+	e := t.entries[slot]
+	w, b := slot/64, uint64(1)<<(uint(slot)%64)
+	for _, v32 := range e.Vertices {
+		m := t.mask(int(v32))
+		m[w] &^= b
+		switch popcount(m) {
+		case 0:
+			t.coverSize--
+		case 1:
+			t.delta[soleOwner(m)]++
+		}
+	}
+	t.entries[slot] = nil
+	t.delta[slot] = 0
+	t.free = append(t.free, slot)
+	t.size--
+}
+
+// Delta returns |Δ(R, C′)| for the entry in the given slot position of
+// Entries(); exposed for tests and statistics.
+func (t *TopK) Delta(i int) int {
+	j := 0
+	for s, e := range t.entries {
+		if e != nil {
+			if j == i {
+				return t.delta[s]
+			}
+			j++
+		}
+	}
+	panic("coverage: Delta index out of range")
+}
+
+// CoverSet returns Cov(R) as a fresh bitset.
+func (t *TopK) CoverSet() *bitset.Set {
+	s := bitset.New(t.n)
+	for v := 0; v < t.n; v++ {
+		if t.Covered(v) {
+			s.Add(v)
+		}
+	}
+	return s
+}

@@ -1,0 +1,258 @@
+package coverage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+// model is a brute-force reference for TopK semantics.
+type model struct {
+	n, k    int
+	members [][]int32
+}
+
+func (m *model) coverSize() int { return len(m.coverMap()) }
+
+func (m *model) coverMap() map[int32]int {
+	cov := map[int32]int{}
+	for _, mem := range m.members {
+		for _, v := range mem {
+			cov[v]++
+		}
+	}
+	return cov
+}
+
+// delta returns |Δ(R, members[i])|.
+func (m *model) delta(i int) int {
+	cov := m.coverMap()
+	d := 0
+	for _, v := range m.members[i] {
+		if cov[v] == 1 {
+			d++
+		}
+	}
+	return d
+}
+
+func (m *model) minDelta() (idx, d int) {
+	idx = -1
+	for i := range m.members {
+		if di := m.delta(i); idx == -1 || di < d {
+			idx, d = i, di
+		}
+	}
+	return idx, d
+}
+
+func (m *model) sizeWith(c []int32) int {
+	star, _ := m.minDelta()
+	cov := map[int32]bool{}
+	for i, mem := range m.members {
+		if i == star {
+			continue
+		}
+		for _, v := range mem {
+			cov[v] = true
+		}
+	}
+	for _, v := range c {
+		cov[v] = true
+	}
+	return len(cov)
+}
+
+func (m *model) update(c []int32) bool {
+	if len(m.members) < m.k {
+		m.members = append(m.members, c)
+		return true
+	}
+	sz := m.sizeWith(c)
+	if m.k*sz < (m.k+1)*m.coverSize() {
+		return false
+	}
+	star, _ := m.minDelta()
+	m.members[star] = c
+	return true
+}
+
+func randVerts(rng *rand.Rand, n int) []int32 {
+	count := rng.Intn(n/2 + 1)
+	seen := map[int32]bool{}
+	var out []int32
+	for len(out) < count {
+		v := int32(rng.Intn(n))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestUpdateRule1FillsToK(t *testing.T) {
+	tk := New(10, 3)
+	for i := 0; i < 3; i++ {
+		if !tk.Update([]int32{int32(i)}, []int{i}) {
+			t.Fatalf("Rule 1 rejected insert %d", i)
+		}
+	}
+	if tk.Len() != 3 || tk.CoverSize() != 3 {
+		t.Fatalf("Len=%d CoverSize=%d", tk.Len(), tk.CoverSize())
+	}
+}
+
+func TestUpdateRule2(t *testing.T) {
+	tk := New(20, 2)
+	tk.Update([]int32{0, 1, 2}, nil)
+	tk.Update([]int32{2, 3}, nil) // Δ = {3}, C* candidate
+	// Cov = {0,1,2,3}, |Cov| = 4. Eq(1) needs size ≥ 4·(3/2) = 6.
+	// Replacing C* = {2,3} with {4,5,6} gives {0,1,2,4,5,6} = 6 ✓.
+	if got := tk.SizeWith([]int32{4, 5, 6}); got != 6 {
+		t.Fatalf("SizeWith = %d, want 6", got)
+	}
+	if !tk.Update([]int32{4, 5, 6}, nil) {
+		t.Fatal("Eq(1)-satisfying candidate rejected")
+	}
+	if tk.CoverSize() != 6 {
+		t.Fatalf("CoverSize = %d, want 6", tk.CoverSize())
+	}
+	// A small candidate must now be rejected: Cov=6, needs ≥ 9.
+	if tk.Update([]int32{7, 8}, nil) {
+		t.Fatal("Eq(1)-violating candidate accepted")
+	}
+}
+
+func TestMinDeltaAndCovered(t *testing.T) {
+	tk := New(10, 3)
+	tk.Update([]int32{0, 1, 2, 3}, nil)
+	tk.Update([]int32{3, 4}, nil)
+	slot, d := tk.MinDeltaSlot()
+	if d != 1 {
+		t.Fatalf("min delta = %d (slot %d), want 1", d, slot)
+	}
+	if !tk.Covered(3) || tk.Covered(9) {
+		t.Fatal("Covered wrong")
+	}
+	if got := tk.CoverSet().Slice(); len(got) != 5 {
+		t.Fatalf("CoverSet = %v", got)
+	}
+}
+
+func TestBoundsWhenNotFull(t *testing.T) {
+	tk := New(10, 2)
+	tk.Update([]int32{0}, nil)
+	if !tk.SatisfiesEq1([]int32{}) || !tk.MeetsSizeBound(0) {
+		t.Fatal("bounds must pass while |R| < k")
+	}
+	if tk.SatisfiesEq2(0) {
+		t.Fatal("Eq(2) must not trigger while |R| < k")
+	}
+	if tk.MinDelta() != 1 {
+		t.Fatalf("MinDelta = %d", tk.MinDelta())
+	}
+}
+
+func TestEmptyTopK(t *testing.T) {
+	tk := New(5, 2)
+	if tk.MinDelta() != 0 || tk.Len() != 0 || tk.CoverSize() != 0 {
+		t.Fatal("empty TopK accessors wrong")
+	}
+	if len(tk.Entries()) != 0 {
+		t.Fatal("Entries on empty TopK")
+	}
+}
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(n, 0) did not panic")
+		}
+	}()
+	New(5, 0)
+}
+
+func TestLargeKMultiWordMasks(t *testing.T) {
+	// k > 64 exercises multi-word member masks.
+	tk := New(300, 70)
+	for i := 0; i < 70; i++ {
+		tk.Update([]int32{int32(i), int32(i + 100)}, []int{i})
+	}
+	if tk.Len() != 70 || tk.CoverSize() != 140 {
+		t.Fatalf("Len=%d CoverSize=%d", tk.Len(), tk.CoverSize())
+	}
+	if _, d := tk.MinDeltaSlot(); d != 2 {
+		t.Fatalf("delta = %d, want 2", d)
+	}
+}
+
+// TestQuickAgainstModel drives TopK and the brute-force model with the
+// same random candidate stream and compares every observable after each
+// step.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		k := 1 + rng.Intn(6)
+		tk := New(n, k)
+		m := &model{n: n, k: k}
+		for step := 0; step < 60; step++ {
+			c := randVerts(rng, n)
+			c2 := make([]int32, len(c))
+			copy(c2, c)
+			got := tk.Update(c, nil)
+			want := m.update(c2)
+			if got != want {
+				return false
+			}
+			if tk.Len() != len(m.members) || tk.CoverSize() != m.coverSize() {
+				return false
+			}
+			if tk.Len() > 0 {
+				_, gd := tk.MinDeltaSlot()
+				_, wd := m.minDelta()
+				if gd != wd {
+					return false
+				}
+				probe := randVerts(rng, n)
+				if tk.SizeWith(probe) != m.sizeWith(probe) {
+					return false
+				}
+				set := bitset.New(n)
+				for _, v := range probe {
+					set.Add(int(v))
+				}
+				if tk.SizeWithSet(set) != m.sizeWith(probe) {
+					return false
+				}
+			}
+			// Per-entry deltas must match the model (entries keep slot
+			// order; model keeps insertion order — compare multisets).
+			gotDeltas := map[int]int{}
+			for i := range tk.Entries() {
+				gotDeltas[tk.Delta(i)]++
+			}
+			wantDeltas := map[int]int{}
+			for i := range m.members {
+				wantDeltas[m.delta(i)]++
+			}
+			if len(gotDeltas) != len(wantDeltas) {
+				return false
+			}
+			for d, c := range wantDeltas {
+				if gotDeltas[d] != c {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/kcore"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Name: "t", N: 200, Layers: 4, Seed: 3, AvgDegree: 2, Gamma: 2.5,
+		Correlation: 0.4, Communities: 3, MinSize: 8, MaxSize: 12, MinSupport: 2, MaxSupport: 3, PIn: 0.8})
+	b := Generate(Config{Name: "t", N: 200, Layers: 4, Seed: 3, AvgDegree: 2, Gamma: 2.5,
+		Correlation: 0.4, Communities: 3, MinSize: 8, MaxSize: 12, MinSupport: 2, MaxSupport: 3, PIn: 0.8})
+	if a.Graph.MTotal() != b.Graph.MTotal() || a.Graph.UnionEdgeCount() != b.Graph.UnionEdgeCount() {
+		t.Fatalf("same seed produced different graphs")
+	}
+	c := Generate(Config{Name: "t", N: 200, Layers: 4, Seed: 4, AvgDegree: 2, Gamma: 2.5,
+		Correlation: 0.4, Communities: 3, MinSize: 8, MaxSize: 12, MinSupport: 2, MaxSupport: 3, PIn: 0.8})
+	if a.Graph.MTotal() == c.Graph.MTotal() {
+		t.Fatalf("different seeds produced identical edge counts (suspicious)")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(Config{Name: "t", N: 500, Layers: 6, Seed: 1, AvgDegree: 3, Gamma: 2.4,
+		Correlation: 0.5, Communities: 4, MinSize: 10, MaxSize: 14, MinSupport: 3, MaxSupport: 4, PIn: 0.9})
+	g := d.Graph
+	if g.N() != 500 || g.L() != 6 {
+		t.Fatalf("dims: %d x %d", g.N(), g.L())
+	}
+	// Background density should be near the target on every layer.
+	for layer := 0; layer < g.L(); layer++ {
+		if g.M(layer) < 500 { // 500 * 3 / 2 = 750 target minus dedup losses
+			t.Errorf("layer %d too sparse: %d edges", layer, g.M(layer))
+		}
+	}
+	if len(d.Communities) != 4 {
+		t.Fatalf("%d communities", len(d.Communities))
+	}
+	for _, c := range d.Communities {
+		if len(c.Vertices) < 10 || len(c.Vertices) > 14 {
+			t.Errorf("community size %d out of range", len(c.Vertices))
+		}
+		if len(c.Layers) < 3 || len(c.Layers) > 4 {
+			t.Errorf("community support %d out of range", len(c.Layers))
+		}
+	}
+}
+
+// TestPlantedCommunitiesAreDense verifies the generator's contract: with
+// PIn close to 1 a planted community survives inside the d-CC of its
+// supporting layers for a d below its expected internal degree.
+func TestPlantedCommunitiesAreDense(t *testing.T) {
+	d := Generate(Config{Name: "t", N: 400, Layers: 5, Seed: 7, AvgDegree: 1.5, Gamma: 2.5,
+		Correlation: 0.4, Communities: 3, MinSize: 12, MaxSize: 12, MinSupport: 2, MaxSupport: 3, PIn: 1.0})
+	g := d.Graph
+	full := bitset.NewFull(g.N())
+	for ci, c := range d.Communities {
+		cc := kcore.DCC(g, full, c.Layers, 4)
+		for _, v := range c.Vertices {
+			if !cc.Contains(v) {
+				t.Errorf("community %d: vertex %d missing from 4-CC of its layers", ci, v)
+			}
+		}
+	}
+}
+
+func TestNamedDatasets(t *testing.T) {
+	// Small scale to keep the test fast; checks dimensions only.
+	cases := []struct {
+		ds   *Dataset
+		n, l int
+	}{
+		{PPI(1), 328, 8},
+		{Author(1), 1017, 10},
+		{German(0.05, 1), 2000, 14},
+		{Wiki(0.05, 1), 2500, 24},
+		{English(0.05, 1), 3000, 15},
+		{Stack(0.05, 1), 4000, 24},
+	}
+	for _, c := range cases {
+		if c.ds.Graph.N() != c.n || c.ds.Graph.L() != c.l {
+			t.Errorf("%s: got %dx%d, want %dx%d", c.ds.Name, c.ds.Graph.N(), c.ds.Graph.L(), c.n, c.l)
+		}
+		if c.ds.Graph.MTotal() == 0 {
+			t.Errorf("%s: empty graph", c.ds.Name)
+		}
+	}
+}
+
+func TestFourLayerExample(t *testing.T) {
+	g, names := FourLayerExample()
+	if g.N() != 15 || g.L() != 4 || len(names) != 15 {
+		t.Fatalf("dims wrong")
+	}
+	full := bitset.NewFull(15)
+	c02 := kcore.DCC(g, full, []int{0, 2}, 3)
+	c13 := kcore.DCC(g, full, []int{1, 3}, 3)
+	if c02.Count() != 11 || c13.Count() != 12 {
+		t.Fatalf("|C02|=%d |C13|=%d, want 11, 12", c02.Count(), c13.Count())
+	}
+	union := c02.Clone()
+	union.Or(c13)
+	if union.Count() != 13 {
+		t.Fatalf("cover=%d, want 13", union.Count())
+	}
+}
+
+func TestGeneratePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Config{N: 0, Layers: 3})
+}

@@ -1,0 +1,361 @@
+// Package dynamic maintains a d-coherent core under edge insertions and
+// deletions — the streaming counterpart of the static dCC procedure,
+// motivated by the paper's story-identification application where hourly
+// snapshot layers evolve as new posts arrive.
+//
+// Deletions shrink the core by exact cascade peeling. Insertions grow it:
+// the only vertices that can join are those reachable from the new edge's
+// endpoints through non-core vertices on the watched layers (a joining
+// set must "activate" through the new edge, otherwise it would already
+// have been in the maximal core), so the maintainer peels the old core
+// plus that bounded candidate region. Both directions therefore keep the
+// core exactly equal to a from-scratch recomputation, which the property
+// tests assert after random update streams.
+package dynamic
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/multilayer"
+)
+
+// Graph is a mutable multi-layer graph with O(1) edge updates, the
+// companion of the immutable multilayer.Graph.
+type Graph struct {
+	n   int
+	adj []map[int32]map[int32]struct{} // adj[layer][v] = neighbor set
+	m   []int
+}
+
+// NewGraph returns an empty mutable graph with n vertices and the given
+// number of layers.
+func NewGraph(n, layers int) *Graph {
+	if n < 0 || layers < 0 {
+		panic("dynamic: negative dimensions")
+	}
+	g := &Graph{n: n, adj: make([]map[int32]map[int32]struct{}, layers), m: make([]int, layers)}
+	for i := range g.adj {
+		g.adj[i] = map[int32]map[int32]struct{}{}
+	}
+	return g
+}
+
+// FromMultilayer copies an immutable graph into a mutable one.
+func FromMultilayer(src *multilayer.Graph) *Graph {
+	g := NewGraph(src.N(), src.L())
+	for layer := 0; layer < src.L(); layer++ {
+		for v := 0; v < src.N(); v++ {
+			for _, u := range src.Neighbors(layer, v) {
+				if int(u) > v {
+					g.AddEdge(layer, v, int(u))
+				}
+			}
+		}
+	}
+	return g
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// L returns the layer count.
+func (g *Graph) L() int { return len(g.adj) }
+
+// M returns the undirected edge count of a layer.
+func (g *Graph) M(layer int) int { return g.m[layer] }
+
+// HasEdge reports whether {u, v} is an edge on the layer.
+func (g *Graph) HasEdge(layer, u, v int) bool {
+	_, ok := g.adj[layer][int32(u)][int32(v)]
+	return ok
+}
+
+// Degree returns the degree of v on the layer.
+func (g *Graph) Degree(layer, v int) int { return len(g.adj[layer][int32(v)]) }
+
+// Neighbors calls fn for each neighbor of v on the layer until fn returns
+// false. Iteration order is unspecified.
+func (g *Graph) Neighbors(layer, v int, fn func(u int) bool) {
+	for u := range g.adj[layer][int32(v)] {
+		if !fn(int(u)) {
+			return
+		}
+	}
+}
+
+// AddEdge inserts the undirected edge {u, v} on the layer; it reports
+// whether the edge was new. Self-loops are rejected with false.
+func (g *Graph) AddEdge(layer, u, v int) bool {
+	g.check(layer, u, v)
+	if u == v || g.HasEdge(layer, u, v) {
+		return false
+	}
+	g.link(layer, int32(u), int32(v))
+	g.link(layer, int32(v), int32(u))
+	g.m[layer]++
+	return true
+}
+
+// RemoveEdge deletes the undirected edge {u, v} from the layer; it
+// reports whether the edge existed.
+func (g *Graph) RemoveEdge(layer, u, v int) bool {
+	g.check(layer, u, v)
+	if !g.HasEdge(layer, u, v) {
+		return false
+	}
+	delete(g.adj[layer][int32(u)], int32(v))
+	delete(g.adj[layer][int32(v)], int32(u))
+	g.m[layer]--
+	return true
+}
+
+func (g *Graph) check(layer, u, v int) {
+	if layer < 0 || layer >= len(g.adj) || u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("dynamic: edge (%d: %d,%d) out of range", layer, u, v))
+	}
+}
+
+func (g *Graph) link(layer int, v, u int32) {
+	set := g.adj[layer][v]
+	if set == nil {
+		set = map[int32]struct{}{}
+		g.adj[layer][v] = set
+	}
+	set[u] = struct{}{}
+}
+
+// Freeze converts the mutable graph into an immutable multilayer.Graph.
+func (g *Graph) Freeze() *multilayer.Graph {
+	b := multilayer.NewBuilder(g.n, g.L())
+	for layer := range g.adj {
+		for v, nbrs := range g.adj[layer] {
+			for u := range nbrs {
+				if u > v {
+					b.MustAddEdge(layer, int(v), int(u))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Maintainer keeps the d-coherent core of a fixed layer subset current
+// while the underlying Graph changes through it. All updates must go
+// through the maintainer's AddEdge/RemoveEdge; mutating the Graph
+// directly desynchronizes the core.
+type Maintainer struct {
+	g      *Graph
+	layers []int
+	d      int
+	inL    []bool
+	core   *bitset.Set
+	deg    map[int][]int32 // layer -> degree of core members inside the core
+}
+
+// NewMaintainer wraps g and computes the initial d-CC of the given layer
+// subset.
+func NewMaintainer(g *Graph, layers []int, d int) (*Maintainer, error) {
+	if g == nil {
+		return nil, fmt.Errorf("dynamic: nil graph")
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("dynamic: d = %d, want ≥ 1", d)
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("dynamic: empty layer set")
+	}
+	inL := make([]bool, g.L())
+	for _, layer := range layers {
+		if layer < 0 || layer >= g.L() {
+			return nil, fmt.Errorf("dynamic: layer %d out of range [0,%d)", layer, g.L())
+		}
+		if inL[layer] {
+			return nil, fmt.Errorf("dynamic: duplicate layer %d", layer)
+		}
+		inL[layer] = true
+	}
+	m := &Maintainer{
+		g:      g,
+		layers: append([]int(nil), layers...),
+		d:      d,
+		inL:    inL,
+		deg:    map[int][]int32{},
+	}
+	for _, layer := range layers {
+		m.deg[layer] = make([]int32, g.n)
+	}
+	m.rebuild()
+	return m, nil
+}
+
+// Core returns the current d-CC. The set is owned by the maintainer;
+// callers must not modify it.
+func (m *Maintainer) Core() *bitset.Set { return m.core }
+
+// CoreSize returns |C^d_L| under the current graph.
+func (m *Maintainer) CoreSize() int { return m.core.Count() }
+
+// rebuild recomputes the core from scratch (initialization).
+func (m *Maintainer) rebuild() {
+	m.core = bitset.NewFull(m.g.n)
+	m.peel(m.seedAll())
+}
+
+// seedAll returns every current core vertex violating the threshold.
+func (m *Maintainer) seedAll() []int32 {
+	var queue []int32
+	m.core.ForEach(func(v int) bool {
+		for _, layer := range m.layers {
+			dv := m.degIn(layer, v)
+			m.deg[layer][v] = dv
+			if dv < int32(m.d) {
+				queue = append(queue, int32(v))
+				break
+			}
+		}
+		return true
+	})
+	return queue
+}
+
+// degIn counts v's neighbors inside the current core on the layer.
+func (m *Maintainer) degIn(layer, v int) int32 {
+	c := int32(0)
+	m.g.Neighbors(layer, v, func(u int) bool {
+		if m.core.Contains(u) {
+			c++
+		}
+		return true
+	})
+	return c
+}
+
+// peel removes the queued vertices and cascades until the core is
+// d-dense on every watched layer again.
+func (m *Maintainer) peel(queue []int32) {
+	// Deduplicate lazily: a vertex may be queued more than once; the
+	// core membership check on pop makes extra entries harmless.
+	for len(queue) > 0 {
+		v := int(queue[len(queue)-1])
+		queue = queue[:len(queue)-1]
+		if !m.core.Contains(v) {
+			continue
+		}
+		violates := false
+		for _, layer := range m.layers {
+			if m.deg[layer][v] < int32(m.d) {
+				violates = true
+				break
+			}
+		}
+		if !violates {
+			continue
+		}
+		m.core.Remove(v)
+		for _, layer := range m.layers {
+			m.g.Neighbors(layer, v, func(u int) bool {
+				if m.core.Contains(u) {
+					m.deg[layer][u]--
+					if m.deg[layer][u] < int32(m.d) {
+						queue = append(queue, int32(u))
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// RemoveEdge deletes {u, v} from the layer and shrinks the core by exact
+// cascade. It reports whether the edge existed.
+func (m *Maintainer) RemoveEdge(layer, u, v int) bool {
+	if !m.g.RemoveEdge(layer, u, v) {
+		return false
+	}
+	if !m.inL[layer] || !m.core.Contains(u) || !m.core.Contains(v) {
+		return true // core unaffected
+	}
+	m.deg[layer][u]--
+	m.deg[layer][v]--
+	m.peel([]int32{int32(u), int32(v)})
+	return true
+}
+
+// AddEdge inserts {u, v} on the layer and grows the core exactly: any
+// vertex joining the new core must be reachable from the new edge's
+// endpoints through non-core vertices on watched layers (otherwise the
+// old core was not maximal), so it suffices to peel the old core plus
+// that candidate region. It reports whether the edge was new.
+func (m *Maintainer) AddEdge(layer, u, v int) bool {
+	if !m.g.AddEdge(layer, u, v) {
+		return false
+	}
+	if !m.inL[layer] {
+		return true
+	}
+	if m.core.Contains(u) && m.core.Contains(v) {
+		m.deg[layer][u]++
+		m.deg[layer][v]++
+		return true
+	}
+	// Candidate region: BFS from the non-core endpoints over non-core
+	// vertices along watched layers.
+	region := bitset.New(m.g.n)
+	var stack []int32
+	for _, w := range []int{u, v} {
+		if !m.core.Contains(w) && region.Add(w) {
+			stack = append(stack, int32(w))
+		}
+	}
+	for len(stack) > 0 {
+		w := int(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+		for _, ly := range m.layers {
+			m.g.Neighbors(ly, w, func(x int) bool {
+				if !m.core.Contains(x) && region.Add(x) {
+					stack = append(stack, int32(x))
+				}
+				return true
+			})
+		}
+	}
+	// Tentatively admit the region, recompute degrees over the enlarged
+	// core, and peel. Old core members cannot be peeled: their degrees
+	// only grew.
+	m.core.Or(region)
+	var queue []int32
+	m.core.ForEach(func(w int) bool {
+		recompute := region.Contains(w)
+		if !recompute {
+			// Existing member: degrees only change if adjacent to the
+			// region; recompute those lazily below.
+			for _, ly := range m.layers {
+				m.g.Neighbors(ly, w, func(x int) bool {
+					if region.Contains(x) {
+						recompute = true
+						return false
+					}
+					return true
+				})
+				if recompute {
+					break
+				}
+			}
+		}
+		if recompute {
+			for _, ly := range m.layers {
+				m.deg[ly][w] = m.degIn(ly, w)
+			}
+			for _, ly := range m.layers {
+				if m.deg[ly][w] < int32(m.d) {
+					queue = append(queue, int32(w))
+					break
+				}
+			}
+		}
+		return true
+	})
+	m.peel(queue)
+	return true
+}

@@ -1,0 +1,129 @@
+package kcore
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/multilayer"
+)
+
+// CoherentCoreness computes, for a fixed layer subset L, every vertex's
+// coherent coreness: the largest d such that the vertex belongs to
+// C^d_L(G[alive]). Vertices outside alive (nil means all) get -1.
+//
+// It generalizes the Batagelj–Zaversnik degeneracy ordering to the
+// multi-layer minimum degree m(v) = min_{i∈L} deg_i(v): repeatedly remove
+// a vertex of minimum m, assigning it the running maximum of m at removal
+// time. By the hierarchy property (Property 2) the d-CCs for all d are
+// then level sets of the returned array, which is how the property tests
+// validate it.
+func CoherentCoreness(g *multilayer.Graph, layers []int, alive *bitset.Set) []int {
+	n := g.N()
+	if alive == nil {
+		alive = bitset.NewFull(n)
+	}
+	out := make([]int, n)
+	for v := range out {
+		out[v] = -1
+	}
+	if len(layers) == 0 || alive.Empty() {
+		return out
+	}
+
+	// m(v) = min over L of the degree within the remaining vertices.
+	deg := make([][]int32, len(layers))
+	for idx, layer := range layers {
+		deg[idx] = make([]int32, n)
+		alive.ForEach(func(v int) bool {
+			deg[idx][v] = int32(g.DegreeIn(layer, v, alive))
+			return true
+		})
+	}
+	m := make([]int32, n)
+	maxM := int32(0)
+	alive.ForEach(func(v int) bool {
+		mv := deg[0][v]
+		for idx := 1; idx < len(layers); idx++ {
+			if deg[idx][v] < mv {
+				mv = deg[idx][v]
+			}
+		}
+		m[v] = mv
+		if mv > maxM {
+			maxM = mv
+		}
+		return true
+	})
+
+	// Bucket queue over m values; stale entries are skipped on pop.
+	buckets := make([][]int32, maxM+1)
+	alive.ForEach(func(v int) bool {
+		buckets[m[v]] = append(buckets[m[v]], int32(v))
+		return true
+	})
+	remaining := alive.Clone()
+	cur := int32(0) // running maximum = the coreness level being peeled
+	level := int32(0)
+	for remaining.Count() > 0 {
+		// Find the smallest non-empty bucket ≤ maxM with a live entry.
+		v := -1
+		for level = 0; level <= maxM; level++ {
+			for len(buckets[level]) > 0 {
+				cand := int(buckets[level][len(buckets[level])-1])
+				buckets[level] = buckets[level][:len(buckets[level])-1]
+				if remaining.Contains(cand) && m[cand] == level {
+					v = cand
+					break
+				}
+			}
+			if v >= 0 {
+				break
+			}
+		}
+		if v < 0 {
+			break // defensive; cannot happen while remaining is non-empty
+		}
+		if m[v] > cur {
+			cur = m[v]
+		}
+		out[v] = int(cur)
+		remaining.Remove(v)
+		for idx, layer := range layers {
+			for _, u32 := range g.Neighbors(layer, int(v)) {
+				u := int(u32)
+				if !remaining.Contains(u) {
+					continue
+				}
+				deg[idx][u]--
+				if deg[idx][u] < m[u] {
+					m[u] = deg[idx][u]
+					buckets[m[u]] = append(buckets[m[u]], u32)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CoherentCoreFromCoreness converts a coherent-coreness array into the
+// d-CC vertex set for the same layer subset.
+func CoherentCoreFromCoreness(coreness []int, d int) *bitset.Set {
+	s := bitset.New(len(coreness))
+	for v, c := range coreness {
+		if c >= d {
+			s.Add(v)
+		}
+	}
+	return s
+}
+
+// Degeneracy returns the multi-layer degeneracy of the layer subset: the
+// largest d for which C^d_L is non-empty, i.e. the maximum coherent
+// coreness. It returns -1 when no vertex is alive.
+func Degeneracy(g *multilayer.Graph, layers []int, alive *bitset.Set) int {
+	best := -1
+	for _, c := range CoherentCoreness(g, layers, alive) {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}

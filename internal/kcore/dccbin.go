@@ -1,0 +1,112 @@
+package kcore
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/multilayer"
+)
+
+// DCCBin computes the same d-coherent core as DCC using the bin-sorted
+// procedure of the paper's Appendix B: vertices are sorted by
+// m(v) = min_{i∈L} deg_{G_i[S]}(v) into bins (arrays ver/pos/bin), the
+// minimum-m vertex is repeatedly removed while m(v) < d, and affected
+// neighbors are relocated one bin down with the constant-time swap of
+// Batagelj–Zaversnik. The main loop stops as soon as the front vertex
+// satisfies m(v) ≥ d; the surviving vertices are C^d_L(G[S]).
+func DCCBin(g *multilayer.Graph, S *bitset.Set, layers []int, d int) *bitset.Set {
+	if len(layers) == 0 || d <= 0 {
+		return S.Clone()
+	}
+	n := g.N()
+	verts := S.Slice32()
+	if len(verts) == 0 {
+		return S.Clone()
+	}
+
+	// deg[idx][v] = degree of v within S on layers[idx];
+	// m[v] = min over idx.
+	deg := make([][]int32, len(layers))
+	for idx := range layers {
+		deg[idx] = make([]int32, n)
+	}
+	m := make([]int32, n)
+	maxM := int32(0)
+	for _, v32 := range verts {
+		v := int(v32)
+		mv := int32(1<<31 - 1)
+		for idx, layer := range layers {
+			dv := int32(0)
+			for _, u := range g.Neighbors(layer, v) {
+				if S.Contains(int(u)) {
+					dv++
+				}
+			}
+			deg[idx][v] = dv
+			if dv < mv {
+				mv = dv
+			}
+		}
+		m[v] = mv
+		if mv > maxM {
+			maxM = mv
+		}
+	}
+
+	// Bin-sort by m(v): ver holds vertices ascending by m, pos is the
+	// inverse permutation, bin[i] is the start offset of value i.
+	bin := make([]int32, maxM+2)
+	for _, v := range verts {
+		bin[m[v]]++
+	}
+	start := int32(0)
+	for i := int32(0); i <= maxM; i++ {
+		num := bin[i]
+		bin[i] = start
+		start += num
+	}
+	ver := make([]int32, len(verts))
+	pos := make([]int32, n)
+	for _, v := range verts {
+		pos[v] = bin[m[v]]
+		ver[pos[v]] = v
+		bin[m[v]]++
+	}
+	for i := maxM; i > 0; i-- {
+		bin[i] = bin[i-1]
+	}
+	bin[0] = 0
+
+	result := S.Clone()
+	for front := 0; front < len(ver); front++ {
+		v := int(ver[front])
+		if m[v] >= int32(d) {
+			break // all remaining vertices satisfy the threshold
+		}
+		result.Remove(v)
+		for idx, layer := range layers {
+			for _, u32 := range g.Neighbors(layer, v) {
+				u := int(u32)
+				// Skip vertices outside S, already removed, or whose m
+				// does not exceed m(v): the latter will be peeled anyway
+				// and moving them could violate the bin ordering.
+				if !result.Contains(u) || m[u] <= m[v] {
+					continue
+				}
+				deg[idx][u]--
+				if deg[idx][u] < m[u] {
+					// The minimum dropped by exactly one: swap u with the
+					// first vertex of its bin, then shrink the bin.
+					pu := pos[u]
+					pw := bin[m[u]]
+					w := ver[pw]
+					if u != int(w) {
+						pos[u], pos[w] = pw, pu
+						ver[pu], ver[pw] = w, int32(u)
+					}
+					bin[m[u]]++
+					m[u]--
+				}
+			}
+		}
+	}
+	return result
+}

@@ -1,0 +1,128 @@
+package kcore
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/multilayer"
+)
+
+// Tracker maintains, under vertex deletions, the d-core of every layer of
+// a multi-layer graph together with the support counts
+// Num(v) = |{ i : v ∈ C^d(G_i) }| used throughout the paper: by the
+// vertex-deletion preprocessing (§IV-C), and by the removal-hierarchy
+// index of the top-down algorithm (§V-C).
+//
+// Deleting a vertex removes it from the graph entirely; the per-layer
+// cores then shrink by cascaded peeling, so each edge of each layer is
+// processed O(1) times over the lifetime of the tracker.
+type Tracker struct {
+	g     *multilayer.Graph
+	d     int
+	alive *bitset.Set   // vertices still present in the graph
+	cores []*bitset.Set // cores[i] = d-core of G_i restricted to alive
+	deg   [][]int32     // deg[i][v] = degree of v inside cores[i], valid while v ∈ cores[i]
+	num   []int32       // num[v] = Num(v), valid while v ∈ alive
+
+	// NumListener, when non-nil, is invoked with every vertex whose Num
+	// value decreases as a side effect of core maintenance (not for the
+	// vertex passed to RemoveVertex itself). The top-down index builder
+	// uses it to keep a bucket queue of support counts.
+	NumListener func(v int)
+}
+
+// NewTracker computes the initial per-layer d-cores of g restricted to
+// alive (nil means all vertices) and returns a tracker positioned there.
+// alive is cloned; the caller's set is not modified.
+func NewTracker(g *multilayer.Graph, d int, alive *bitset.Set) *Tracker {
+	n := g.N()
+	if alive == nil {
+		alive = bitset.NewFull(n)
+	}
+	t := &Tracker{
+		g:     g,
+		d:     d,
+		alive: alive.Clone(),
+		cores: make([]*bitset.Set, g.L()),
+		deg:   make([][]int32, g.L()),
+		num:   make([]int32, n),
+	}
+	for i := 0; i < g.L(); i++ {
+		t.cores[i] = Core(g, i, t.alive, d)
+		t.deg[i] = make([]int32, n)
+		t.cores[i].ForEach(func(v int) bool {
+			t.deg[i][v] = int32(g.DegreeIn(i, v, t.cores[i]))
+			t.num[v]++
+			return true
+		})
+	}
+	return t
+}
+
+// Alive returns the set of vertices still in the graph. The returned set
+// is owned by the tracker; callers must not modify it.
+func (t *Tracker) Alive() *bitset.Set { return t.alive }
+
+// Core returns the current d-core of the given layer. The returned set is
+// owned by the tracker; callers must not modify it.
+func (t *Tracker) Core(layer int) *bitset.Set { return t.cores[layer] }
+
+// Num returns the number of layers whose current d-core contains v.
+func (t *Tracker) Num(v int) int {
+	if !t.alive.Contains(v) {
+		return 0
+	}
+	return int(t.num[v])
+}
+
+// CoreLayers returns the set of layers whose current d-core contains v,
+// as a bitmask over layer indices. It requires l ≤ 64, which callers
+// (the top-down index) enforce.
+func (t *Tracker) CoreLayers(v int) uint64 {
+	var mask uint64
+	for i, c := range t.cores {
+		if c.Contains(v) {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// RemoveVertex deletes v from the graph and cascades the per-layer core
+// maintenance. Removing a vertex that is already gone is a no-op.
+func (t *Tracker) RemoveVertex(v int) {
+	if !t.alive.Remove(v) {
+		return
+	}
+	for i := range t.cores {
+		if t.cores[i].Contains(v) {
+			t.removeFromCore(i, v)
+		}
+	}
+	t.num[v] = 0
+}
+
+// removeFromCore removes v from layer i's core and peels the fallout.
+func (t *Tracker) removeFromCore(layer, v int) {
+	core := t.cores[layer]
+	core.Remove(v)
+	t.num[v]--
+	queue := []int32{int32(v)}
+	for len(queue) > 0 {
+		w := int(queue[len(queue)-1])
+		queue = queue[:len(queue)-1]
+		for _, u32 := range t.g.Neighbors(layer, w) {
+			u := int(u32)
+			if !core.Contains(u) {
+				continue
+			}
+			t.deg[layer][u]--
+			if t.deg[layer][u] < int32(t.d) {
+				core.Remove(u)
+				t.num[u]--
+				if t.NumListener != nil {
+					t.NumListener(u)
+				}
+				queue = append(queue, u32)
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package mimag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/multilayer"
+	"repro/internal/testutil"
+)
+
+func mustGraph(t *testing.T, n int, layers [][][2]int) *multilayer.Graph {
+	t.Helper()
+	g, err := multilayer.FromEdgeLists(n, layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// isQuasiClique is the reference predicate.
+func isQuasiClique(g *multilayer.Graph, layer int, q []int32, gamma float64) bool {
+	t := int(math.Ceil(gamma*float64(len(q)-1) - 1e-9))
+	qs := bitset.New(g.N())
+	for _, v := range q {
+		qs.Add(int(v))
+	}
+	for _, v := range q {
+		if g.DegreeIn(layer, int(v), qs) < t {
+			return false
+		}
+	}
+	return true
+}
+
+// naiveMine enumerates every vertex subset (tiny graphs only) and keeps
+// the maximal sets that are γ-quasi-cliques on ≥ s layers.
+func naiveMine(g *multilayer.Graph, gamma float64, minSize, s int) []Cluster {
+	n := g.N()
+	var valid []Cluster
+	for mask := 1; mask < 1<<n; mask++ {
+		var q []int32
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				q = append(q, int32(v))
+			}
+		}
+		if len(q) < minSize {
+			continue
+		}
+		var layers []int
+		for i := 0; i < g.L(); i++ {
+			if isQuasiClique(g, i, q, gamma) {
+				layers = append(layers, i)
+			}
+		}
+		if len(layers) >= s {
+			valid = append(valid, Cluster{Vertices: q, Layers: layers})
+		}
+	}
+	return dropSubsets(valid)
+}
+
+func TestMineTriangle(t *testing.T) {
+	// A triangle on both layers plus a pendant: the triangle is the only
+	// 0.8-quasi-clique of size ≥ 3 on 2 layers.
+	g := mustGraph(t, 4, [][][2]int{
+		{{0, 1}, {1, 2}, {0, 2}, {2, 3}},
+		{{0, 1}, {1, 2}, {0, 2}},
+	})
+	res, err := Mine(g, Options{Gamma: 0.8, MinSize: 3, S: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 {
+		t.Fatalf("%d clusters, want 1: %+v", len(res.Clusters), res.Clusters)
+	}
+	c := res.Clusters[0]
+	if len(c.Vertices) != 3 || c.Vertices[0] != 0 || c.Vertices[1] != 1 || c.Vertices[2] != 2 {
+		t.Fatalf("cluster = %+v", c)
+	}
+	if len(c.Layers) != 2 {
+		t.Fatalf("layers = %v", c.Layers)
+	}
+}
+
+func TestMineValidatesOptions(t *testing.T) {
+	g := mustGraph(t, 3, [][][2]int{{{0, 1}}})
+	bad := []Options{
+		{Gamma: 0, MinSize: 3, S: 1},
+		{Gamma: 1.5, MinSize: 3, S: 1},
+		{Gamma: 0.8, MinSize: 1, S: 1},
+		{Gamma: 0.8, MinSize: 3, S: 0},
+		{Gamma: 0.8, MinSize: 3, S: 5},
+	}
+	for _, o := range bad {
+		if _, err := Mine(g, o); err == nil {
+			t.Errorf("accepted %+v", o)
+		}
+	}
+	if _, err := Mine(nil, Options{Gamma: 0.8, MinSize: 3, S: 1}); err == nil {
+		t.Error("accepted nil graph")
+	}
+}
+
+// TestMineMatchesNaive compares the miner's maximal raw clusters against
+// exhaustive enumeration on tiny random graphs.
+func TestMineMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := testutil.RandomCorrelatedGraph(rng, 5+rng.Intn(6), 1+rng.Intn(3), 0.5, 0.9, 0.15)
+		gamma := []float64{0.6, 0.8, 1.0}[rng.Intn(3)]
+		minSize := 2 + rng.Intn(2)
+		s := 1 + rng.Intn(g.L())
+		want := naiveMine(g, gamma, minSize, s)
+
+		// Recover the miner's pre-diversification maximal clusters by
+		// setting redundancy to accept everything.
+		res, err := Mine(g, Options{Gamma: gamma, MinSize: minSize, S: s, Redundancy: 1.0})
+		if err != nil || res.Truncated {
+			return false
+		}
+		if res.Raw != len(want) {
+			t.Logf("seed=%d n=%d l=%d γ=%.1f min=%d s=%d: raw=%d want=%d",
+				seed, g.N(), g.L(), gamma, minSize, s, res.Raw, len(want))
+			return false
+		}
+		// With redundancy 1.0 every maximal cluster is kept; compare sets.
+		if len(res.Clusters) != len(want) {
+			return false
+		}
+		have := map[string]bool{}
+		for _, c := range res.Clusters {
+			have[keyOf(c.Vertices)] = true
+		}
+		for _, c := range want {
+			if !have[keyOf(c.Vertices)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func keyOf(vs []int32) string {
+	b := make([]byte, 0, len(vs)*2)
+	for _, v := range vs {
+		b = append(b, byte(v), ',')
+	}
+	return string(b)
+}
+
+// TestEmittedClustersAreValid checks the predicate on every result of a
+// larger randomized run.
+func TestEmittedClustersAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := testutil.RandomCorrelatedGraph(rng, 30, 4, 0.25, 0.9, 0.05)
+	res, err := Mine(g, Options{Gamma: 0.8, MinSize: 3, S: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Clusters {
+		if len(c.Layers) < 2 {
+			t.Fatalf("cluster with support %d", len(c.Layers))
+		}
+		for _, layer := range c.Layers {
+			if !isQuasiClique(g, layer, c.Vertices, 0.8) {
+				t.Fatalf("cluster %v not a quasi-clique on layer %d", c.Vertices, layer)
+			}
+		}
+	}
+}
+
+func TestDiversifyRemovesOverlap(t *testing.T) {
+	cs := []Cluster{
+		{Vertices: []int32{0, 1, 2, 3, 4}},
+		{Vertices: []int32{0, 1, 2, 3, 5}}, // 80% overlap with first
+		{Vertices: []int32{6, 7, 8}},
+	}
+	out := diversify(10, cs, 0.25, 0)
+	if len(out) != 2 {
+		t.Fatalf("%d clusters kept, want 2", len(out))
+	}
+	if len(out[0].Vertices) != 5 || len(out[1].Vertices) != 3 {
+		t.Fatalf("wrong clusters kept: %+v", out)
+	}
+}
+
+func TestMaxResults(t *testing.T) {
+	cs := []Cluster{
+		{Vertices: []int32{0, 1, 2}},
+		{Vertices: []int32{3, 4, 5}},
+		{Vertices: []int32{6, 7, 8}},
+	}
+	out := diversify(10, cs, 0.25, 2)
+	if len(out) != 2 {
+		t.Fatalf("MaxResults ignored: %d", len(out))
+	}
+}
+
+func TestNodeLimitTruncates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := testutil.RandomGraph(rng, 25, 2, 0.5)
+	res, err := Mine(g, Options{Gamma: 0.6, MinSize: 3, S: 1, NodeLimit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("expected truncation with tiny node limit")
+	}
+	if res.Nodes < 100 {
+		t.Fatalf("nodes = %d", res.Nodes)
+	}
+}
+
+func TestIsSubset(t *testing.T) {
+	if !isSubset([]int32{1, 3}, []int32{1, 2, 3}) || isSubset([]int32{1, 4}, []int32{1, 2, 3}) {
+		t.Fatal("isSubset wrong")
+	}
+	if !isSubset(nil, []int32{1}) || isSubset([]int32{1, 2}, []int32{1}) {
+		t.Fatal("isSubset edge cases wrong")
+	}
+}

@@ -1,0 +1,273 @@
+// Package multilayer implements the multi-layer graph substrate of the
+// paper: a fixed vertex set V shared by l layers, each layer an undirected
+// simple graph over V. The DCCS algorithms never materialize induced
+// subgraphs; they traverse the full adjacency under bitset membership
+// masks, so Graph is immutable after Build and safe for concurrent readers.
+package multilayer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Graph is an immutable multi-layer graph (V, E1, …, El). Vertices are the
+// integers 0..N()-1 on every layer; a vertex absent from some layer is
+// simply isolated there, matching the paper's convention.
+type Graph struct {
+	n   int
+	adj [][][]int32 // adj[layer][v] = sorted neighbor list
+	m   []int       // per-layer undirected edge count
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// L returns the number of layers.
+func (g *Graph) L() int { return len(g.adj) }
+
+// M returns the number of undirected edges on the given layer.
+func (g *Graph) M(layer int) int { return g.m[layer] }
+
+// MTotal returns Σ_i |E_i|, the total edge count across layers (edges
+// present on several layers are counted once per layer), as reported in
+// the second column of the paper's Fig 12.
+func (g *Graph) MTotal() int {
+	t := 0
+	for _, mi := range g.m {
+		t += mi
+	}
+	return t
+}
+
+// Neighbors returns the sorted adjacency list of v on the given layer.
+// The returned slice is owned by the graph and must not be modified.
+func (g *Graph) Neighbors(layer, v int) []int32 { return g.adj[layer][v] }
+
+// Degree returns the degree of v on the given layer.
+func (g *Graph) Degree(layer, v int) int { return len(g.adj[layer][v]) }
+
+// HasEdge reports whether {u, v} is an edge on the given layer.
+func (g *Graph) HasEdge(layer, u, v int) bool {
+	list := g.adj[layer][u]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= int32(v) })
+	return i < len(list) && list[i] == int32(v)
+}
+
+// DegreeIn returns |N_layer(v) ∩ s|, the degree of v inside the subgraph
+// induced by s on the given layer.
+func (g *Graph) DegreeIn(layer, v int, s *bitset.Set) int {
+	d := 0
+	for _, u := range g.adj[layer][v] {
+		if s.Contains(int(u)) {
+			d++
+		}
+	}
+	return d
+}
+
+// UnionEdgeCount returns |∪_i E_i|, the number of distinct undirected
+// edges across all layers (third column of Fig 12).
+func (g *Graph) UnionEdgeCount() int {
+	total := 0
+	mark := make([]int, g.n) // mark[u] = v+1 when edge (v,u) already seen for current v
+	for v := 0; v < g.n; v++ {
+		for layer := 0; layer < g.L(); layer++ {
+			for _, u := range g.adj[layer][v] {
+				if int(u) > v && mark[u] != v+1 {
+					mark[u] = v + 1
+					total++
+				}
+			}
+		}
+	}
+	return total
+}
+
+// UnionNeighbors returns the sorted set of neighbors of v across all
+// layers. It allocates; use for index construction, not inner loops.
+func (g *Graph) UnionNeighbors(v int) []int32 {
+	var out []int32
+	for layer := 0; layer < g.L(); layer++ {
+		out = append(out, g.adj[layer][v]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dedupSorted(out)
+}
+
+func dedupSorted(xs []int32) []int32 {
+	if len(xs) == 0 {
+		return xs
+	}
+	w := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[w-1] {
+			xs[w] = xs[i]
+			w++
+		}
+	}
+	return xs[:w]
+}
+
+// Stats summarizes a multi-layer graph in the format of the paper's
+// Fig 12.
+type Stats struct {
+	N          int // |V(G)|
+	TotalEdges int // Σ_i |E(G_i)|
+	UnionEdges int // |∪_i E(G_i)|
+	Layers     int // l(G)
+}
+
+// Stats computes the Fig 12 summary of g.
+func (g *Graph) Stats() Stats {
+	return Stats{N: g.n, TotalEdges: g.MTotal(), UnionEdges: g.UnionEdgeCount(), Layers: g.L()}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d totalEdges=%d unionEdges=%d layers=%d",
+		s.N, s.TotalEdges, s.UnionEdges, s.Layers)
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self-loops are dropped at Build time, and edges are stored in
+// both directions, so callers may add each undirected edge once in either
+// orientation.
+type Builder struct {
+	n      int
+	layers int
+	edges  [][][2]int32 // per-layer edge list
+}
+
+// NewBuilder returns a Builder for a graph with n vertices and the given
+// number of layers.
+func NewBuilder(n, layers int) *Builder {
+	if n < 0 || layers < 0 {
+		panic("multilayer: negative dimensions")
+	}
+	return &Builder{n: n, layers: layers, edges: make([][][2]int32, layers)}
+}
+
+// AddEdge records the undirected edge {u, v} on the given layer. It
+// returns an error if the layer or endpoints are out of range. Self-loops
+// are silently ignored (the d-CC definition concerns neighbors, and a
+// self-loop never contributes to coherent density).
+func (b *Builder) AddEdge(layer, u, v int) error {
+	if layer < 0 || layer >= b.layers {
+		return fmt.Errorf("multilayer: layer %d out of range [0,%d)", layer, b.layers)
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("multilayer: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return nil
+	}
+	b.edges[layer] = append(b.edges[layer], [2]int32{int32(u), int32(v)})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error, for use by generators whose
+// inputs are correct by construction.
+func (b *Builder) MustAddEdge(layer, u, v int) {
+	if err := b.AddEdge(layer, u, v); err != nil {
+		panic(err)
+	}
+}
+
+// Build sorts, deduplicates and freezes the accumulated edges into a
+// Graph. The Builder may be reused afterwards; further AddEdge calls do
+// not affect the built Graph.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		n:   b.n,
+		adj: make([][][]int32, b.layers),
+		m:   make([]int, b.layers),
+	}
+	deg := make([]int32, b.n)
+	for layer := 0; layer < b.layers; layer++ {
+		for i := range deg {
+			deg[i] = 0
+		}
+		for _, e := range b.edges[layer] {
+			deg[e[0]]++
+			deg[e[1]]++
+		}
+		// Single backing array per layer keeps adjacency cache-friendly.
+		flat := make([]int32, 2*len(b.edges[layer]))
+		lists := make([][]int32, b.n)
+		off := 0
+		for v := 0; v < b.n; v++ {
+			lists[v] = flat[off : off : off+int(deg[v])]
+			off += int(deg[v])
+		}
+		for _, e := range b.edges[layer] {
+			lists[e[0]] = append(lists[e[0]], e[1])
+			lists[e[1]] = append(lists[e[1]], e[0])
+		}
+		m := 0
+		for v := 0; v < b.n; v++ {
+			l := lists[v]
+			sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+			lists[v] = dedupSorted(l)
+			m += len(lists[v])
+		}
+		g.adj[layer] = lists
+		g.m[layer] = m / 2
+	}
+	return g
+}
+
+// FromEdgeLists builds a graph directly from per-layer edge lists, a
+// convenience for tests and examples. Edges are pairs of vertex ids.
+func FromEdgeLists(n int, layers [][][2]int) (*Graph, error) {
+	b := NewBuilder(n, len(layers))
+	for li, edges := range layers {
+		for _, e := range edges {
+			if err := b.AddEdge(li, e[0], e[1]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// InducedVertexSample returns a new graph over the same vertex ids
+// restricted to the vertices in keep: edges with an endpoint outside keep
+// are dropped, and dropped vertices become isolated on every layer. This
+// mirrors the paper's scalability experiment that selects a fraction p of
+// vertices (Fig 26); retaining ids keeps ground-truth bookkeeping simple.
+func (g *Graph) InducedVertexSample(keep *bitset.Set) *Graph {
+	b := NewBuilder(g.n, g.L())
+	for layer := 0; layer < g.L(); layer++ {
+		for v := 0; v < g.n; v++ {
+			if !keep.Contains(v) {
+				continue
+			}
+			for _, u := range g.adj[layer][v] {
+				if int(u) > v && keep.Contains(int(u)) {
+					b.MustAddEdge(layer, v, int(u))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// LayerSample returns a new graph containing only the given layers, in
+// the given order. This mirrors the paper's Fig 27 experiment selecting a
+// fraction q of layers.
+func (g *Graph) LayerSample(layers []int) *Graph {
+	ng := &Graph{
+		n:   g.n,
+		adj: make([][][]int32, len(layers)),
+		m:   make([]int, len(layers)),
+	}
+	for i, layer := range layers {
+		if layer < 0 || layer >= g.L() {
+			panic(fmt.Sprintf("multilayer: layer %d out of range", layer))
+		}
+		ng.adj[i] = g.adj[layer] // immutable; sharing is safe
+		ng.m[i] = g.m[layer]
+	}
+	return ng
+}

@@ -1,0 +1,126 @@
+package multilayer
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := mustGraph(t, 6, [][][2]int{
+		{{0, 1}, {1, 2}, {4, 5}},
+		{{0, 5}},
+		{},
+	})
+	var buf bytes.Buffer
+	if err := g.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestRoundTripFile(t *testing.T) {
+	g := mustGraph(t, 4, [][][2]int{{{0, 1}, {2, 3}}, {{1, 3}}})
+	path := filepath.Join(t.TempDir(), "g.mlg")
+	if err := g.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.mlg")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestReadCommentsAndBlank(t *testing.T) {
+	in := "# header comment\n\nmlg 3 2\n# edge\n0 0 1\n\n1 1 2\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.L() != 2 || g.M(0) != 1 || g.M(1) != 1 {
+		t.Fatalf("parsed wrong: %+v", g.Stats())
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"comments only":    "# nothing here\n",
+		"bad magic":        "graph 3 2\n",
+		"header too short": "mlg 3\n",
+		"negative n":       "mlg -1 2\n",
+		"header not int":   "mlg x 2\n",
+		"short edge":       "mlg 3 2\n0 1\n",
+		"long edge":        "mlg 3 2\n0 1 2 3\n",
+		"edge not int":     "mlg 3 2\n0 a 1\n",
+		"layer range":      "mlg 3 2\n5 0 1\n",
+		"vertex range":     "mlg 3 2\n0 0 9\n",
+		"double header":    "mlg 3 2\nmlg 3 2\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, in)
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(50)
+		l := 1 + rng.Intn(5)
+		b := NewBuilder(n, l)
+		for e := 0; e < 150; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.MustAddEdge(rng.Intn(l), u, v)
+			}
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := g.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertGraphsEqual(t, g, g2)
+	}
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.L() != b.L() {
+		t.Fatalf("dims differ: (%d,%d) vs (%d,%d)", a.N(), a.L(), b.N(), b.L())
+	}
+	for layer := 0; layer < a.L(); layer++ {
+		if a.M(layer) != b.M(layer) {
+			t.Fatalf("layer %d edge count differs: %d vs %d", layer, a.M(layer), b.M(layer))
+		}
+		for v := 0; v < a.N(); v++ {
+			na, nb := a.Neighbors(layer, v), b.Neighbors(layer, v)
+			if len(na) != len(nb) {
+				t.Fatalf("layer %d vertex %d adjacency differs", layer, v)
+			}
+			for i := range na {
+				if na[i] != nb[i] {
+					t.Fatalf("layer %d vertex %d adjacency differs at %d", layer, v, i)
+				}
+			}
+		}
+	}
+}
