@@ -8,6 +8,7 @@
 //	dccs-bench -fig 29 -scale 1    # dataset scale factor for the 4 large graphs
 //	dccs-bench -quick              # trimmed grids + small datasets (smoke run)
 //	dccs-bench -out ./out          # directory for artifacts (Fig 31 DOT file)
+//	dccs-bench -parallel           # serial vs parallel engine speedup table
 package main
 
 import (
@@ -25,11 +26,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for datasets and algorithms")
 	quick := flag.Bool("quick", false, "trimmed parameter grids and small datasets")
 	out := flag.String("out", "", "directory for artifact files (empty = no artifacts)")
+	parallel := flag.Bool("parallel", false, "run the serial-vs-parallel engine comparison instead of a figure")
 	flag.Parse()
 
 	s := &bench.Suite{Scale: *scale, Seed: *seed, Quick: *quick, OutDir: *out, W: os.Stdout}
 	var err error
-	if *fig == "all" {
+	if *parallel {
+		err = s.RunParallel()
+	} else if *fig == "all" {
 		err = s.RunAll()
 	} else {
 		var n int

@@ -11,6 +11,7 @@
 //	dccs -algo greedy -d 4 -s 3 -k 10 graph.mlg
 //	dccs -algo bu -stats graph.mlg             # print search statistics
 //	dccs -algo td -json graph.mlg              # machine-readable output
+//	dccs -workers 8 graph.mlg                  # parallel search engine
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	s := flag.Int("s", 3, "minimum support threshold s (layer-subset size)")
 	k := flag.Int("k", 10, "number of diversified d-CCs")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "parallel workers: 1 = serial, N > 1 = fan out the search; 0 = auto (parallel materialization, serial search)")
 	stats := flag.Bool("stats", false, "print search statistics")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	flag.Parse()
@@ -41,7 +43,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	opts := dccs.Options{D: *d, S: *s, K: *k, Seed: *seed}
+	opts := dccs.Options{D: *d, S: *s, K: *k, Seed: *seed, Workers: *workers}
 	var res *dccs.Result
 	switch *algo {
 	case "auto":

@@ -31,6 +31,19 @@
 // Search picks the bottom-up or top-down algorithm from the paper's
 // crossover rule (s < l/2 → bottom-up). All algorithms are deterministic
 // for a fixed Options.Seed.
+//
+// # Parallelism
+//
+// Options.Workers selects the execution engine. The layer subsets the
+// algorithms enumerate are independent, so the work parallelizes at the
+// subtree level: greedy candidate materialization and preprocessing's
+// per-layer core decompositions shard across the pool with bit-for-bit
+// identical output, and with an explicit Workers > 1 the first level of
+// the bottom-up/top-down search trees fans out too, each subtree
+// searching against a local top-k merged at a barrier. Workers = 1
+// forces the serial path; 0 (the default) parallelizes only the
+// deterministic stages, so zero-value runs reproduce serial results
+// exactly. See DESIGN.md for the merge correctness argument.
 package dccs
 
 import (

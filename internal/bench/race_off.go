@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; the
+// speedup assertions are skipped under it (instrumentation distorts the
+// serial-vs-parallel ratio).
+const raceEnabled = false

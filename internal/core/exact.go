@@ -42,8 +42,8 @@ func ExactDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
 		if idx == opts.S {
 			layers := append([]int(nil), comb...)
 			cc := kcore.DCC(g, p.alive, layers, opts.D)
-			p.stats.DCCCalls++
-			p.stats.Candidates++
+			p.stats.dccCalls.Add(1)
+			p.stats.candidates.Add(1)
 			if cc.Empty() {
 				return
 			}
@@ -114,8 +114,8 @@ func ExactDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
 	sort.Slice(res.Cores, func(a, b int) bool {
 		return lessIntSlices(res.Cores[a].Layers, res.Cores[b].Layers)
 	})
-	p.stats.Elapsed = time.Since(start)
-	res.Stats = p.stats
+	res.Stats = p.stats.snapshot()
+	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }
 

@@ -30,15 +30,17 @@ type tdIndex struct {
 }
 
 // buildIndex constructs the removal-hierarchy index of the subgraph of g
-// induced by alive, for degree threshold d. It requires l(g) ≤ 64.
-func buildIndex(g *multilayer.Graph, d int, alive *bitset.Set) *tdIndex {
+// induced by alive, for degree threshold d. It requires l(g) ≤ 64. The
+// initial per-layer core decomposition is sharded across workers; the
+// batch removal sweep itself is a sequential fixpoint.
+func buildIndex(g *multilayer.Graph, d int, alive *bitset.Set, workers int) *tdIndex {
 	n := g.N()
 	idx := &tdIndex{
 		h:     make([]int32, n),
 		level: make([]int32, n),
 		lmask: make([]uint64, n),
 	}
-	tr := kcore.NewTracker(g, d, alive)
+	tr := kcore.NewTrackerN(g, d, alive, workers)
 
 	// Bucket queue over support counts. Stale entries are tolerated and
 	// validated against the tracker on pop; each vertex re-enters a

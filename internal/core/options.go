@@ -18,6 +18,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/multilayer"
@@ -38,6 +39,30 @@ type Options struct {
 	// Seed drives the run's random choices (Lemma 7 descendant
 	// selection). Runs with equal seeds are fully deterministic.
 	Seed int64
+
+	// Workers selects the execution engine. 1 runs everything on the
+	// calling goroutine — today's fully serial path. N > 1 runs the
+	// parallel engine with N workers: candidate materialization
+	// (GreedyDCCS's C(l,s) enumeration), preprocessing's per-layer core
+	// decompositions, and the first level of the bottom-up/top-down
+	// search trees are sharded across the pool.
+	//
+	// 0 (the zero value) is automatic: the deterministic stages —
+	// greedy materialization and per-layer cores, whose parallel output
+	// is bit-for-bit identical to the serial one — use GOMAXPROCS
+	// workers, while the Seed-sensitive BU/TD tree searches stay on the
+	// serial path, so the zero value reproduces serial results exactly.
+	// Opt in with an explicit Workers > 1 to also fan out the search
+	// trees. Each first-level subtree then searches against its own
+	// local top-k seeded from a shared snapshot and the results are
+	// merged at a barrier, so those runs are deterministic for a fixed
+	// Seed — independent of N and of goroutine scheduling — but may
+	// select a different, equally valid, top-k than the serial search
+	// (see DESIGN.md for why the pruning stays sound). The only
+	// exception is MaxTreeNodes: a shared node budget makes the
+	// truncation point scheduling-dependent. Negative values behave
+	// like 1.
+	Workers int
 
 	// NoVertexDeletion disables the vertex-deletion preprocessing
 	// (Fig 28's No-VD).
@@ -74,6 +99,30 @@ type Options struct {
 	// far and Stats.Truncated is set — the approximation guarantee no
 	// longer applies.
 	MaxTreeNodes int
+}
+
+// materializeWorkers resolves Workers for the deterministic parallel
+// stages (greedy candidate materialization, per-layer core
+// decomposition), whose parallel output is identical to the serial one:
+// the zero value already means "use the hardware".
+func (o Options) materializeWorkers() int {
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// searchWorkers resolves Workers for the Seed-sensitive BU/TD tree
+// searches, which can reach a different (valid) top-k than the serial
+// path: parallelism there is opt-in, so the zero value stays serial.
+func (o Options) searchWorkers() int {
+	if o.Workers < 2 {
+		return 1
+	}
+	return o.Workers
 }
 
 // Validate checks the options against a graph.

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/coverage"
+)
+
+// mergeLocals runs the barrier merge of a parallel BU/TD search: the
+// pre-fan-out snapshot followed by every subtree's local entries. The
+// fan-outs hand over bare entry lists — not the local TopK sets — so
+// each subtree's O(n) coverage bookkeeping is collectable as soon as
+// its task finishes.
+func mergeLocals(n, k int, snapshot *coverage.TopK, locals [][]*coverage.Entry) *coverage.TopK {
+	groups := make([][]*coverage.Entry, 0, len(locals)+1)
+	groups = append(groups, snapshot.Entries())
+	groups = append(groups, locals...)
+	return mergeTopK(n, k, groups...)
+}
+
+// mergeTopK rebuilds one top-k result set from the entries accumulated
+// by the pre-fan-out snapshot and every subtree's local set, at the
+// barrier that ends a parallel BU/TD search (see DESIGN.md):
+//
+//  1. entries are deduplicated by layer set — a layer set determines
+//     its d-CC uniquely, so duplicates across subtrees are identical —
+//     and ordered canonically, making the merge independent of worker
+//     scheduling;
+//  2. up to k entries are selected greedily by marginal coverage, the
+//     same max-k-cover rule GreedyDCCS uses;
+//  3. every remaining entry is offered through the paper's Update rule
+//     (Appendix C), whose Rule 2 replacements only ever increase
+//     |Cov(R)|.
+func mergeTopK(n, k int, groups ...[]*coverage.Entry) *coverage.TopK {
+	var entries []*coverage.Entry
+	seen := map[string]bool{}
+	for _, group := range groups {
+		for _, e := range group {
+			key := fmt.Sprint(e.Layers)
+			if !seen[key] {
+				seen[key] = true
+				entries = append(entries, e)
+			}
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		return lessIntSlices(entries[a].Layers, entries[b].Layers)
+	})
+
+	merged := coverage.New(n, k)
+	covered := bitset.New(n)
+	picked := make([]bool, len(entries))
+	for pick := 0; pick < k && pick < len(entries); pick++ {
+		best, bestGain := -1, -1
+		for i, e := range entries {
+			if picked[i] {
+				continue
+			}
+			gain := 0
+			for _, v := range e.Vertices {
+				if !covered.Contains(int(v)) {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		picked[best] = true
+		for _, v := range entries[best].Vertices {
+			covered.Add(int(v))
+		}
+		merged.Update(entries[best].Vertices, entries[best].Layers)
+	}
+	for i, e := range entries {
+		if !picked[i] {
+			merged.Update(e.Vertices, e.Layers)
+		}
+	}
+	return merged
+}

@@ -22,7 +22,7 @@ type prep struct {
 	cores []*bitset.Set // per original layer, restricted to alive
 	order []int         // position -> original layer id
 	rng   *rand.Rand
-	stats Stats
+	stats runStats
 }
 
 // preprocess runs vertex deletion (lines 1–7 of BU-DCCS, Fig 7) and
@@ -36,7 +36,7 @@ func preprocess(g *multilayer.Graph, opts Options) *prep {
 		opts: opts,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
 	}
-	tr := kcore.NewTracker(g, opts.D, nil)
+	tr := kcore.NewTrackerN(g, opts.D, nil, opts.materializeWorkers())
 	if !opts.NoVertexDeletion {
 		// Remove every vertex whose support Num(v) — the number of layers
 		// whose d-core contains it — is below s, until a fixpoint.
@@ -54,7 +54,7 @@ func preprocess(g *multilayer.Graph, opts Options) *prep {
 			for _, v := range victims {
 				tr.RemoveVertex(v)
 			}
-			p.stats.PreprocessRemoved += len(victims)
+			p.stats.preprocessRemoved.Add(int64(len(victims)))
 		}
 	}
 	p.alive = tr.Alive().Clone()
@@ -138,9 +138,9 @@ func (p *prep) initTopK(topk *coverage.TopK) {
 		}
 		sort.Ints(L)
 		cc := kcore.DCC(g, C, L, d)
-		p.stats.DCCCalls++
+		p.stats.dccCalls.Add(1)
 		if topk.Update(cc.Slice32(), L) {
-			p.stats.Updates++
+			p.stats.updates.Add(1)
 		}
 	}
 }
@@ -160,7 +160,7 @@ func containsInt(xs []int, x int) bool {
 // identical d-CCs, so only one representative is kept; coverage is
 // unaffected.
 func (p *prep) finish(topk *coverage.TopK) *Result {
-	res := &Result{CoverSize: topk.CoverSize(), Stats: p.stats}
+	res := &Result{CoverSize: topk.CoverSize(), Stats: p.stats.snapshot()}
 	seen := map[string]bool{}
 	for _, e := range topk.Entries() {
 		key := fmt.Sprint(e.Layers)

@@ -65,7 +65,7 @@ func (t *tdSearch) refineU(u *bitset.Set, lpos []int) *bitset.Set {
 	if len(mLayers) == 0 {
 		return cur
 	}
-	p.stats.DCCCalls++
+	p.stats.dccCalls.Add(1)
 	return kcore.DCC(p.g, cur, mLayers, p.opts.D)
 }
 
@@ -128,7 +128,7 @@ func (t *tdSearch) refineC(u *bitset.Set, lpos []int) *bitset.Set {
 		}
 		return true
 	})
-	p.stats.DCCCalls++
+	p.stats.dccCalls.Add(1)
 	if p.opts.UseDCCRefine {
 		return kcore.DCC(g, z, layers, d)
 	}

@@ -63,7 +63,8 @@ func newTDSearchForTest(g *multilayer.Graph, opts Options) *tdSearch {
 	t := &tdSearch{
 		prep:          p,
 		topk:          coverage.New(g.N(), opts.K),
-		idx:           buildIndex(g, opts.D, p.alive),
+		idx:           buildIndex(g, opts.D, p.alive, 1),
+		rng:           p.rng,
 		state:         make([]uint8, g.N()),
 		scratchCounts: make([]int32, g.N()),
 	}
@@ -238,7 +239,7 @@ func TestIndexLemma8(t *testing.T) {
 		g := testutil.RandomCorrelatedGraph(rng, 8+rng.Intn(25), 2+rng.Intn(4), 0.3, 0.85, 0.08)
 		d := 1 + rng.Intn(3)
 		alive := bitset.NewFull(g.N())
-		idx := buildIndex(g, d, alive)
+		idx := buildIndex(g, d, alive, 1)
 
 		// The index partitions all vertices.
 		seen := bitset.New(g.N())

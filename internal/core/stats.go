@@ -1,0 +1,49 @@
+package core
+
+import "sync/atomic"
+
+// runStats is the mutable, concurrency-safe backing store for Stats. The
+// search algorithms — serial and parallel alike — account their effort
+// here; the parallel engine's workers share one runStats, so every
+// counter is an atomic and the totals survive concurrent increments
+// without locks. A single-goroutine run performs exactly the same
+// sequence of increments as the pre-atomic code did, keeping serial
+// results (including the reported counters) bit-for-bit identical.
+type runStats struct {
+	preprocessRemoved atomic.Int64
+	treeNodes         atomic.Int64
+	candidates        atomic.Int64
+	dccCalls          atomic.Int64
+	updates           atomic.Int64
+	pruned            atomic.Int64
+	truncated         atomic.Bool
+}
+
+// addTreeNode counts one expanded search-tree node and reports whether
+// the MaxTreeNodes budget (0 = unlimited) still admits it. When the
+// budget is exhausted the node is not counted and the run is marked
+// truncated. Under the parallel engine the budget is shared by all
+// workers; the check is racy by at most workers-1 nodes, which only
+// blurs the cut-off point, never the validity of the result.
+func (r *runStats) addTreeNode(budget int) bool {
+	if budget > 0 && r.treeNodes.Load() >= int64(budget) {
+		r.truncated.Store(true)
+		return false
+	}
+	r.treeNodes.Add(1)
+	return true
+}
+
+// snapshot copies the counters into the exported Stats form. Elapsed is
+// filled in by the caller, which owns the wall clock.
+func (r *runStats) snapshot() Stats {
+	return Stats{
+		PreprocessRemoved: int(r.preprocessRemoved.Load()),
+		TreeNodes:         int(r.treeNodes.Load()),
+		Candidates:        int(r.candidates.Load()),
+		DCCCalls:          int(r.dccCalls.Load()),
+		Updates:           int(r.updates.Load()),
+		Pruned:            int(r.pruned.Load()),
+		Truncated:         r.truncated.Load(),
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/kcore"
 	"repro/internal/multilayer"
+	"repro/internal/pool"
 )
 
 // TopDownDCCS implements the TD-DCCS algorithm (Figs 8 and 11): the
@@ -38,7 +40,8 @@ func TopDownDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
 	t := &tdSearch{
 		prep:          p,
 		topk:          topk,
-		idx:           buildIndex(g, opts.D, p.alive),
+		idx:           buildIndex(g, opts.D, p.alive, opts.materializeWorkers()),
+		rng:           p.rng,
 		state:         make([]uint8, g.N()),
 		scratchCounts: make([]int32, g.N()),
 	}
@@ -52,36 +55,115 @@ func TopDownDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
 	for i := range full {
 		full[i] = i
 	}
-	p.stats.DCCCalls++
+	p.stats.dccCalls.Add(1)
 	rootC := kcore.DCC(g, p.alive, p.layersOf(full), opts.D)
-	p.stats.TreeNodes++
+	p.stats.treeNodes.Add(1)
 	if opts.S == g.L() {
-		p.stats.Candidates++
+		p.stats.candidates.Add(1)
 		if topk.Update(rootC.Slice32(), p.layersOf(full)) {
-			p.stats.Updates++
+			p.stats.updates.Add(1)
 		}
+	} else if w := opts.searchWorkers(); w > 1 {
+		topk = t.genParallel(w, full, rootC)
 	} else {
 		t.gen(full, rootC, p.alive)
 	}
 
 	res := p.finish(topk)
-	p.stats.Elapsed = time.Since(start)
-	res.Stats = p.stats
+	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }
 
 // tdSearch carries the state of one top-down run, including the scratch
-// buffers reused across refineC calls.
+// buffers reused across refineC calls. The parallel engine gives every
+// first-level subtree its own tdSearch (scratch buffers and rng are
+// single-goroutine state); prep and idx are shared read-only.
 type tdSearch struct {
 	prep *prep
 	topk *coverage.TopK
 	idx  *tdIndex
+	rng  *rand.Rand // Lemma 7 descendant selection; per subtree in parallel runs
 
 	state         []uint8
 	dplus         [][]int32
 	scratchCounts []int32
 	scratchStack  []int32
 	scratchQueue  []int32
+}
+
+// workerScratch returns a tdSearch shell with fresh scratch buffers for
+// one pool worker of a parallel run. The scratch arrays (the expensive
+// part: dplus is l×n) are reused across every subtree the worker
+// processes — refineC leaves them reset — while topk and rng, which
+// must be deterministic per subtree, are installed per task.
+func (t *tdSearch) workerScratch() *tdSearch {
+	p := t.prep
+	n := p.g.N()
+	w := &tdSearch{
+		prep:          p,
+		idx:           t.idx,
+		state:         make([]uint8, n),
+		scratchCounts: make([]int32, n),
+	}
+	w.dplus = make([][]int32, p.g.L())
+	for i := range w.dplus {
+		w.dplus[i] = make([]int32, n)
+	}
+	return w
+}
+
+// genParallel expands the root of the top-down tree and hands each
+// first-level subtree to a pool of workers, each running the serial gen
+// against a clone of the current top-k; it returns the merged result
+// set. Root-level Lemma 5/6 pruning is skipped; the empty-potential cut
+// is kept. See the bottom-up genParallel for the determinism argument.
+func (t *tdSearch) genParallel(workers int, L []int, cL *bitset.Set) *coverage.TopK {
+	p := t.prep
+	l, s := p.g.L(), p.opts.S
+	if !p.stats.addTreeNode(p.opts.MaxTreeNodes) {
+		return t.topk
+	}
+	lr := removablePos(L, l)
+	if len(lr) < len(L)-s {
+		return t.topk
+	}
+
+	snapshot := t.topk
+	locals := make([][]*coverage.Entry, len(lr))
+	if workers > len(lr) {
+		workers = len(lr)
+	}
+	scratch := make([]*tdSearch, workers)
+	pool.RunIndexed(workers, len(lr), func(worker, i int) {
+		sub := scratch[worker]
+		if sub == nil {
+			sub = t.workerScratch()
+			scratch[worker] = sub
+		}
+		j := lr[i]
+		// Per-task state: the subtree's outcome must depend only on its
+		// index, never on the worker that happens to run it.
+		sub.topk = snapshot.Clone()
+		sub.rng = rand.New(rand.NewSource(int64(uint64(p.opts.Seed) + uint64(i+1)*0x9E3779B97F4A7C15)))
+		lchild := removePos(L, j)
+		childU := sub.refineU(p.alive, lchild)
+		switch {
+		case len(lchild) == s:
+			cc := sub.refineC(childU, lchild)
+			p.stats.candidates.Add(1)
+			if sub.topk.Update(cc.Slice32(), p.layersOf(lchild)) {
+				p.stats.updates.Add(1)
+			}
+		case childU.Empty() && !p.opts.NoEq1Pruning:
+			p.stats.pruned.Add(1) // empty-subtree cut (see gen)
+		default:
+			cc := sub.refineC(childU, lchild)
+			sub.gen(lchild, cc, childU)
+		}
+		locals[i] = sub.topk.Entries()
+	})
+
+	return mergeLocals(p.g.N(), p.opts.K, snapshot, locals)
 }
 
 // gen is the TD-Gen procedure (Fig 8). L (ascending positions, |L| > s)
@@ -97,11 +179,9 @@ func (t *tdSearch) gen(L []int, cL, uL *bitset.Set) {
 	p := t.prep
 	l := p.g.L()
 	s := p.opts.S
-	if p.opts.MaxTreeNodes > 0 && p.stats.TreeNodes >= p.opts.MaxTreeNodes {
-		p.stats.Truncated = true
+	if !p.stats.addTreeNode(p.opts.MaxTreeNodes) {
 		return
 	}
-	p.stats.TreeNodes++
 
 	lr := removablePos(L, l)
 	// A node needs |L|−s removable positions for any size-s descendant
@@ -122,15 +202,15 @@ func (t *tdSearch) gen(L []int, cL, uL *bitset.Set) {
 			lchild := removePos(L, j)
 			if len(lchild) == s {
 				cc := t.refineC(childU[j], lchild)
-				p.stats.Candidates++
+				p.stats.candidates.Add(1)
 				if t.topk.Update(cc.Slice32(), p.layersOf(lchild)) {
-					p.stats.Updates++
+					p.stats.updates.Add(1)
 				}
 			} else if childU[j].Empty() && !p.opts.NoEq1Pruning {
 				// Empty-subtree cut: U over-approximates every size-s
 				// descendant, so an empty potential set spans a subtree
 				// of empty candidates (see the matching cut in BU-Gen).
-				p.stats.Pruned++
+				p.stats.pruned.Add(1)
 			} else {
 				cc := t.refineC(childU[j], lchild)
 				t.gen(lchild, cc, childU[j])
@@ -150,26 +230,26 @@ func (t *tdSearch) gen(L []int, cL, uL *bitset.Set) {
 			// Lemma 6: |U| is an upper bound on every descendant d-CC;
 			// below the Eq. (1) size bound neither this child nor — by
 			// the sort order — any later one can contribute.
-			p.stats.Pruned += len(sorted) - rank
+			p.stats.pruned.Add(int64(len(sorted) - rank))
 			break
 		}
 		lchild := removePos(L, j)
 		if len(lchild) == s {
 			cc := t.refineC(childU[j], lchild)
-			p.stats.Candidates++
+			p.stats.candidates.Add(1)
 			if t.topk.Update(cc.Slice32(), p.layersOf(lchild)) {
-				p.stats.Updates++
+				p.stats.updates.Add(1)
 			}
 			continue
 		}
 		if childU[j].Empty() && !p.opts.NoEq1Pruning {
-			p.stats.Pruned++ // empty-subtree cut, see the |R| < k branch
+			p.stats.pruned.Add(1) // empty-subtree cut, see the |R| < k branch
 			continue
 		}
 		// Lemma 5: if even the potential set cannot satisfy Eq. (1), no
 		// size-s descendant can; prune the subtree.
 		if !p.opts.NoEq1Pruning && !t.topk.SatisfiesEq1Set(childU[j]) {
-			p.stats.Pruned++
+			p.stats.pruned.Add(1)
 			continue
 		}
 		cc := t.refineC(childU[j], lchild)
@@ -180,13 +260,13 @@ func (t *tdSearch) gen(L []int, cL, uL *bitset.Set) {
 		if !p.opts.NoPotentialPruning &&
 			t.topk.SatisfiesEq1(cc.Slice32()) && t.topk.SatisfiesEq2(childU[j].Count()) {
 			if sub := t.randomDescendant(lchild); sub != nil {
-				p.stats.DCCCalls++
+				p.stats.dccCalls.Add(1)
 				csub := kcore.DCC(p.g, childU[j], p.layersOf(sub), p.opts.D)
-				p.stats.Candidates++
+				p.stats.candidates.Add(1)
 				if t.topk.Update(csub.Slice32(), p.layersOf(sub)) {
-					p.stats.Updates++
+					p.stats.updates.Add(1)
 				}
-				p.stats.Pruned++
+				p.stats.pruned.Add(1)
 				continue
 			}
 		}
@@ -205,7 +285,7 @@ func (t *tdSearch) randomDescendant(lpos []int) []int {
 	if len(rem) < drop {
 		return nil
 	}
-	perm := t.prep.rng.Perm(len(rem))[:drop]
+	perm := t.rng.Perm(len(rem))[:drop]
 	dropSet := make(map[int]bool, drop)
 	for _, i := range perm {
 		dropSet[rem[i]] = true

@@ -56,6 +56,25 @@ func New(n, k int) *TopK {
 	return t
 }
 
+// Clone returns an independent copy of the result set: subsequent
+// Updates on either copy do not affect the other. The parallel DCCS
+// engine clones the post-initialization set into each search subtree.
+// Entry structs are shared — they are immutable once inserted (callers
+// already may not modify retained vertex slices).
+func (t *TopK) Clone() *TopK {
+	return &TopK{
+		n:         t.n,
+		k:         t.k,
+		stride:    t.stride,
+		cover:     append([]uint64(nil), t.cover...),
+		entries:   append([]*Entry(nil), t.entries...),
+		delta:     append([]int(nil), t.delta...),
+		free:      append([]int(nil), t.free...),
+		size:      t.size,
+		coverSize: t.coverSize,
+	}
+}
+
 // Len returns |R|, the number of entries currently held.
 func (t *TopK) Len() int { return t.size }
 

@@ -3,6 +3,7 @@ package kcore
 import (
 	"repro/internal/bitset"
 	"repro/internal/multilayer"
+	"repro/internal/pool"
 )
 
 // Tracker maintains, under vertex deletions, the d-core of every layer of
@@ -33,6 +34,14 @@ type Tracker struct {
 // alive (nil means all vertices) and returns a tracker positioned there.
 // alive is cloned; the caller's set is not modified.
 func NewTracker(g *multilayer.Graph, d int, alive *bitset.Set) *Tracker {
+	return NewTrackerN(g, d, alive, 1)
+}
+
+// NewTrackerN is NewTracker with the initial per-layer core
+// decompositions sharded across a pool of workers (≤ 1 means serial).
+// The layers are independent at this stage, so the resulting tracker is
+// identical to the serial one; only the construction wall-clock changes.
+func NewTrackerN(g *multilayer.Graph, d int, alive *bitset.Set, workers int) *Tracker {
 	n := g.N()
 	if alive == nil {
 		alive = bitset.NewFull(n)
@@ -45,11 +54,18 @@ func NewTracker(g *multilayer.Graph, d int, alive *bitset.Set) *Tracker {
 		deg:   make([][]int32, g.L()),
 		num:   make([]int32, n),
 	}
-	for i := 0; i < g.L(); i++ {
+	pool.Run(workers, g.L(), func(i int) {
 		t.cores[i] = Core(g, i, t.alive, d)
 		t.deg[i] = make([]int32, n)
 		t.cores[i].ForEach(func(v int) bool {
 			t.deg[i][v] = int32(g.DegreeIn(i, v, t.cores[i]))
+			return true
+		})
+	})
+	// Support counts aggregate across layers, so they are summed after
+	// the per-layer barrier rather than raced inside it.
+	for i := 0; i < g.L(); i++ {
+		t.cores[i].ForEach(func(v int) bool {
 			t.num[v]++
 			return true
 		})

@@ -1,0 +1,55 @@
+// Package pool provides the worker pool the parallel DCCS engine runs
+// on: a fixed number of goroutines pulling task indices from a shared
+// atomic counter. It exists so that packages on both sides of the
+// core→kcore import edge share one implementation.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes tasks 0..tasks-1 on at most workers goroutines and
+// returns after every task has completed. Tasks must write only to
+// task-indexed slots (or other synchronized state), so the outcome is
+// independent of which worker runs which task. workers ≤ 1 runs the
+// tasks inline on the calling goroutine.
+func Run(workers, tasks int, run func(task int)) {
+	RunIndexed(workers, tasks, func(_, task int) { run(task) })
+}
+
+// RunIndexed is Run with the worker id (0..workers-1 after clamping to
+// the task count) passed alongside each task. A worker processes its
+// tasks sequentially, so per-worker scratch state indexed by the worker
+// id needs no further synchronization — but anything that must be
+// deterministic has to depend only on the task, never on the worker.
+func RunIndexed(workers, tasks int, run func(worker, task int)) {
+	if tasks <= 0 {
+		return
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for t := 0; t < tasks; t++ {
+			run(0, t)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= tasks {
+					return
+				}
+				run(worker, t)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
