@@ -9,6 +9,8 @@
 //	dccs-bench -quick              # trimmed grids + small datasets (smoke run)
 //	dccs-bench -out ./out          # directory for artifacts (Fig 31 DOT file)
 //	dccs-bench -parallel           # serial vs parallel engine speedup table
+//	dccs-bench -engine -out ./out  # cold vs Engine-amortized query latency
+//	                               # (writes BENCH_engine.json)
 package main
 
 import (
@@ -27,11 +29,14 @@ func main() {
 	quick := flag.Bool("quick", false, "trimmed parameter grids and small datasets")
 	out := flag.String("out", "", "directory for artifact files (empty = no artifacts)")
 	parallel := flag.Bool("parallel", false, "run the serial-vs-parallel engine comparison instead of a figure")
+	engine := flag.Bool("engine", false, "run the cold-vs-amortized prepared-engine comparison instead of a figure")
 	flag.Parse()
 
 	s := &bench.Suite{Scale: *scale, Seed: *seed, Quick: *quick, OutDir: *out, W: os.Stdout}
 	var err error
-	if *parallel {
+	if *engine {
+		err = s.RunEngine()
+	} else if *parallel {
 		err = s.RunParallel()
 	} else if *fig == "all" {
 		err = s.RunAll()

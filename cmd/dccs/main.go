@@ -12,24 +12,37 @@
 //	dccs -algo bu -stats graph.mlg             # print search statistics
 //	dccs -algo td -json graph.mlg              # machine-readable output
 //	dccs -workers 8 graph.mlg                  # parallel search engine
+//	dccs -timeout 2s graph.mlg                 # deadline-bounded search
+//	dccs -max-nodes 10000 graph.mlg            # node-budgeted search
+//
+// The search runs through a dccs.Engine, so it is cancellable: a timeout
+// or an interrupt (Ctrl-C) stops the search at the next tree-node
+// expansion and prints the valid partial result found so far, marked
+// truncated, instead of dying with no output. A second interrupt kills
+// the process.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	dccs "repro"
 )
 
 func main() {
-	algo := flag.String("algo", "auto", "algorithm: auto, greedy, bu, td")
+	algo := flag.String("algo", "auto", "algorithm: auto, greedy, bu, td, exact")
 	d := flag.Int("d", 4, "minimum degree threshold d")
 	s := flag.Int("s", 3, "minimum support threshold s (layer-subset size)")
 	k := flag.Int("k", 10, "number of diversified d-CCs")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "parallel workers: 1 = serial, N > 1 = fan out the search; 0 = auto (parallel materialization, serial search)")
+	timeout := flag.Duration("timeout", 0, "search deadline (0 = none); on expiry the partial result is printed")
+	maxNodes := flag.Int("max-nodes", 0, "search-tree node budget (0 = unlimited); anytime search when positive")
 	stats := flag.Bool("stats", false, "print search statistics")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	flag.Parse()
@@ -43,20 +56,34 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	opts := dccs.Options{D: *d, S: *s, K: *k, Seed: *seed, Workers: *workers}
-	var res *dccs.Result
-	switch *algo {
-	case "auto":
-		res, err = dccs.Search(g, opts)
-	case "greedy":
-		res, err = dccs.Greedy(g, opts)
-	case "bu":
-		res, err = dccs.BottomUp(g, opts)
-	case "td":
-		res, err = dccs.TopDown(g, opts)
-	default:
-		fail(fmt.Errorf("unknown algorithm %q (want auto, greedy, bu, td)", *algo))
+	eng, err := dccs.NewEngine(g, dccs.EngineConfig{Workers: *workers})
+	if err != nil {
+		fail(err)
 	}
+
+	// An interrupt or an expired -timeout cancels the query context; the
+	// engine then returns the partial result instead of dying mid-search.
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+	go func() {
+		// Once the context is done (first interrupt, or timeout), restore
+		// the default signal disposition so a second Ctrl-C kills the
+		// process even if the search is between cancellation checkpoints.
+		<-ctx.Done()
+		stop()
+	}()
+
+	res, err := eng.Search(ctx, dccs.Query{
+		D: *d, S: *s, K: *k, Seed: *seed,
+		Algorithm:    dccs.Algorithm(*algo),
+		MaxTreeNodes: *maxNodes,
+	})
 	if err != nil {
 		fail(err)
 	}
@@ -71,8 +98,13 @@ func main() {
 	}
 	st := g.Stats()
 	fmt.Printf("graph: n=%d layers=%d edges=%d (union %d)\n", st.N, st.Layers, st.TotalEdges, st.UnionEdges)
-	fmt.Printf("top-%d diversified %d-CCs on %d layers: cover %d vertices\n\n",
-		*k, *d, *s, res.CoverSize)
+	fmt.Printf("top-%d diversified %d-CCs on %d layers (algorithm %s): cover %d vertices\n",
+		*k, *d, *s, res.Stats.Algorithm, res.CoverSize)
+	if res.Stats.Truncated {
+		fmt.Printf("[truncated: %s — partial result, approximation guarantee void]\n",
+			truncationCause(res.Stats, ctx))
+	}
+	fmt.Println()
 	for i, c := range res.Cores {
 		fmt.Printf("#%d layers=%v |vertices|=%d\n", i+1, c.Layers, len(c.Vertices))
 		if len(c.Vertices) <= 30 {
@@ -81,6 +113,19 @@ func main() {
 	}
 	if *stats {
 		fmt.Printf("\nstats: %+v\n", res.Stats)
+	}
+}
+
+// truncationCause names what stopped the search early, reading the
+// exact cause from the context rather than re-deriving it from timings.
+func truncationCause(st dccs.Stats, ctx context.Context) string {
+	switch {
+	case !st.Interrupted:
+		return "node budget exhausted"
+	case errors.Is(context.Cause(ctx), context.DeadlineExceeded):
+		return "deadline exceeded"
+	default:
+		return "interrupted"
 	}
 }
 

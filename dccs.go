@@ -23,14 +23,23 @@
 //	b := dccs.NewBuilder(numVertices, numLayers)
 //	b.MustAddEdge(layer, u, v) // for each undirected edge
 //	g := b.Build()
-//	res, err := dccs.Search(g, dccs.Options{D: 4, S: 3, K: 10})
+//	eng, err := dccs.NewEngine(g, dccs.EngineConfig{})
+//	res, err := eng.Search(ctx, dccs.Query{D: 4, S: 3, K: 10})
 //	for _, core := range res.Cores {
 //		fmt.Println(core.Layers, core.Vertices)
 //	}
 //
-// Search picks the bottom-up or top-down algorithm from the paper's
-// crossover rule (s < l/2 → bottom-up). All algorithms are deterministic
-// for a fixed Options.Seed.
+// An Engine is the serving-path entry point: it caches the expensive
+// per-graph preparation (per-layer coreness, vertex-deletion survivors,
+// the top-down removal-hierarchy index) so that only the first query per
+// degree threshold d pays for it, and every query is cancellable through
+// its context and streamable through Query.OnCandidate. Search and the
+// per-algorithm free functions remain as one-shot wrappers over a
+// throwaway Engine for scripts and tests.
+//
+// The auto algorithm selection follows the paper's crossover rule
+// (s < l/2 → bottom-up); Result.Stats.Algorithm records what actually
+// ran. All algorithms are deterministic for a fixed seed.
 //
 // # Parallelism
 //
@@ -97,25 +106,44 @@ func ReadGraph(r io.Reader) (*Graph, error) { return multilayer.Read(r) }
 // ReadGraphFile loads a graph from a file in the text edge-list format.
 func ReadGraphFile(path string) (*Graph, error) { return multilayer.ReadFile(path) }
 
-// Greedy runs the GD-DCCS algorithm (approximation ratio 1 − 1/e).
+// Greedy runs the GD-DCCS algorithm (approximation ratio 1 − 1/e) as a
+// one-shot call: all preprocessing is recomputed per invocation.
+//
+// Deprecated: serving paths should hold a long-lived Engine and call
+// Engine.Search with Query.Algorithm = AlgoGreedy, which amortizes
+// preprocessing across queries and supports cancellation. Greedy remains
+// supported for scripts and tests.
 func Greedy(g *Graph, opts Options) (*Result, error) { return core.GreedyDCCS(g, opts) }
 
 // BottomUp runs the BU-DCCS algorithm (approximation ratio 1/4),
-// preferred when s < l/2.
+// preferred when s < l/2, as a one-shot call.
+//
+// Deprecated: serving paths should hold a long-lived Engine and call
+// Engine.Search with Query.Algorithm = AlgoBottomUp; see Greedy.
 func BottomUp(g *Graph, opts Options) (*Result, error) { return core.BottomUpDCCS(g, opts) }
 
 // TopDown runs the TD-DCCS algorithm (approximation ratio 1/4),
-// preferred when s ≥ l/2. It supports at most 64 layers.
+// preferred when s ≥ l/2, as a one-shot call that rebuilds the removal-
+// hierarchy index per invocation. It supports at most 64 layers.
+//
+// Deprecated: serving paths should hold a long-lived Engine and call
+// Engine.Search with Query.Algorithm = AlgoTopDown, which builds the
+// index once per degree threshold; see Greedy.
 func TopDown(g *Graph, opts Options) (*Result, error) { return core.TopDownDCCS(g, opts) }
 
 // Search runs the search algorithm the paper recommends for the given
 // support threshold: bottom-up when s < l/2, top-down otherwise (falling
 // back to bottom-up when the graph exceeds the top-down layer limit).
+// Result.Stats.Algorithm records which one ran.
+//
+// Deprecated: serving paths should hold a long-lived Engine and call
+// Engine.Search, which applies the same crossover rule under AlgoAuto
+// while amortizing preprocessing across queries; see Greedy.
 func Search(g *Graph, opts Options) (*Result, error) {
 	if err := opts.Validate(g); err != nil {
 		return nil, err
 	}
-	if 2*opts.S >= g.L() && g.L() <= 64 {
+	if autoAlgorithm(g, opts.S) == AlgoTopDown {
 		return core.TopDownDCCS(g, opts)
 	}
 	return core.BottomUpDCCS(g, opts)
@@ -124,7 +152,8 @@ func Search(g *Graph, opts Options) (*Result, error) {
 // Exact solves the DCCS problem optimally by exhaustive subset search
 // with branch-and-bound. NP-complete in general; it returns an error when
 // the instance has more than core.ExactLimit distinct non-empty
-// candidates. Useful as ground truth on small graphs.
+// candidates. Useful as ground truth on small graphs. Engine.Search with
+// Query.Algorithm = AlgoExact is the cancellable, amortized equivalent.
 func Exact(g *Graph, opts Options) (*Result, error) { return core.ExactDCCS(g, opts) }
 
 // Validate checks that a Result is consistent with the graph and options:

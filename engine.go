@@ -1,0 +1,231 @@
+package dccs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Algorithm selects which DCCS algorithm an Engine query runs.
+type Algorithm string
+
+// The available algorithms. AlgoAuto (or the empty string) applies the
+// paper's crossover rule: bottom-up when s < l/2, top-down otherwise,
+// falling back to bottom-up when the graph exceeds the top-down layer
+// limit of 64. The algorithm that actually ran is recorded in
+// Result.Stats.Algorithm.
+const (
+	AlgoAuto     Algorithm = "auto"
+	AlgoGreedy   Algorithm = core.AlgoNameGreedy
+	AlgoBottomUp Algorithm = core.AlgoNameBU
+	AlgoTopDown  Algorithm = core.AlgoNameTD
+	AlgoExact    Algorithm = core.AlgoNameExact
+)
+
+// EngineConfig carries the graph-lifetime configuration of an Engine:
+// settings that shape the cached preprocessing artifacts or apply
+// uniformly to every query, as opposed to the per-request parameters in
+// Query. The zero value selects the paper's default behaviour.
+type EngineConfig struct {
+	// Workers bounds the parallelism of artifact construction and is the
+	// default worker count for queries that leave Query.Workers at 0.
+	// 0 means GOMAXPROCS for the deterministic stages and a serial tree
+	// search, exactly like Options.Workers.
+	Workers int
+
+	// Ablation toggles, applied to every query this engine serves; see
+	// the matching Options fields. They exist so the Fig 28 ablation
+	// benches can run through an Engine; production engines leave them
+	// false.
+	NoVertexDeletion   bool
+	NoSortLayers       bool
+	NoInitResult       bool
+	NoEq1Pruning       bool
+	NoOrderPruning     bool
+	NoLayerPruning     bool
+	NoPotentialPruning bool
+	UseDCCRefine       bool
+}
+
+// Query carries the per-request parameters of one Engine search. Unlike
+// Options — which conflates graph-lifetime and request-lifetime settings
+// for the legacy one-shot entry points — a Query is cheap to vary:
+// nothing in it invalidates the engine's cached artifacts, and only a
+// previously unseen D triggers (one-time) artifact construction.
+type Query struct {
+	// D is the minimum degree threshold d ≥ 1. Artifacts are cached per
+	// distinct D.
+	D int
+	// S is the minimum support threshold, 1 ≤ S ≤ l(G).
+	S int
+	// K is the number of diversified d-CCs to return, K ≥ 1.
+	K int
+	// Seed fixes the query's random choices (Lemma 7 descendant
+	// selection); queries with equal parameters and seeds are
+	// deterministic.
+	Seed int64
+	// Algorithm selects the algorithm; empty means AlgoAuto.
+	Algorithm Algorithm
+	// MaxTreeNodes, when positive, bounds the search-tree size, turning
+	// the query into an anytime search (see Options.MaxTreeNodes).
+	MaxTreeNodes int
+	// Workers overrides the engine's worker default for this query; see
+	// Options.Workers for the semantics of 0, 1 and N > 1.
+	Workers int
+	// OnCandidate, when non-nil, streams every improvement of the
+	// temporary top-k set to the caller as it happens — incremental
+	// results for servers that push partial answers. With Workers > 1 it
+	// is called concurrently from worker goroutines; see
+	// Options.OnCandidate.
+	OnCandidate func(CC)
+}
+
+// EngineMetrics reports an engine's lifetime counters: how many queries
+// it served and how often each artifact tier was actually (re)built. A
+// healthy engine shows CorenessBuilds ≤ 1 and HierarchyBuilds equal to
+// the number of distinct D values queried, independent of Queries.
+type EngineMetrics struct {
+	Queries         int64
+	CorenessBuilds  int64
+	HierarchyBuilds int64
+}
+
+// Engine is a long-lived, context-aware handle on one immutable Graph
+// that amortizes the expensive per-graph preparation phase across
+// queries. The DCCS algorithms share preprocessing that is independent
+// of the query parameters (§IV-C vertex deletion, per-layer core
+// decompositions, the §V-C removal-hierarchy index); a one-shot call
+// like Search recomputes all of it per invocation, while an Engine
+// computes each artifact at most once — the d-independent per-layer
+// coreness once per engine, the removal hierarchy once per distinct
+// Query.D — and serves every subsequent query from the cache (see
+// DESIGN.md for why the cache stays valid across s, k and Seed). The
+// per-d cache is bounded by the graph, not by the queries: every d
+// beyond the graph's maximum coreness shares one sentinel entry, since
+// all its d-cores are empty.
+//
+// An Engine is safe for concurrent use by multiple goroutines; queries
+// only read the cache, and artifact construction is guarded so
+// concurrent first queries build each artifact exactly once.
+type Engine struct {
+	g       *Graph
+	cfg     EngineConfig
+	pr      *core.Prepared
+	queries atomic.Int64
+}
+
+// NewEngine returns an Engine serving queries against g. The graph must
+// not be modified afterwards (Graph is immutable by construction).
+// Artifacts are built lazily on first use, so NewEngine itself is cheap;
+// call Warm to prepay the per-d construction.
+func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) {
+	if g == nil {
+		return nil, errors.New("dccs: nil graph")
+	}
+	opts := Options{Workers: cfg.Workers}
+	return &Engine{g: g, cfg: cfg, pr: core.NewPrepared(g, opts.MaterializeWorkers())}, nil
+}
+
+// Graph returns the graph this engine serves.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Metrics returns the engine's lifetime counters.
+func (e *Engine) Metrics() EngineMetrics {
+	c := e.pr.Counters()
+	return EngineMetrics{
+		Queries:         e.queries.Load(),
+		CorenessBuilds:  c.CorenessBuilds,
+		HierarchyBuilds: c.HierarchyBuilds,
+	}
+}
+
+// Warm builds the cached artifacts for the given degree thresholds ahead
+// of traffic, so the first query per d does not pay construction
+// latency. The thresholds are all validated before any artifact is
+// built: an invalid d errors out without leaving the engine half-warmed.
+func (e *Engine) Warm(ds ...int) error {
+	for _, d := range ds {
+		if d < 1 {
+			return fmt.Errorf("dccs: degree threshold d = %d, want ≥ 1", d)
+		}
+	}
+	for _, d := range ds {
+		e.pr.Prepare(d)
+	}
+	return nil
+}
+
+// autoAlgorithm applies the paper's crossover rule — bottom-up when
+// s < l/2, top-down otherwise — with the bottom-up fallback for graphs
+// beyond the top-down layer limit. Shared by Engine.Search (AlgoAuto)
+// and the legacy Search wrapper so the two can never diverge.
+func autoAlgorithm(g *Graph, s int) Algorithm {
+	if 2*s >= g.L() && g.L() <= 64 {
+		return AlgoTopDown
+	}
+	return AlgoBottomUp
+}
+
+// options lowers a Query onto the engine's config into the core Options
+// form the algorithms consume.
+func (e *Engine) options(q Query) Options {
+	workers := q.Workers
+	if workers == 0 {
+		workers = e.cfg.Workers
+	}
+	return Options{
+		D:                  q.D,
+		S:                  q.S,
+		K:                  q.K,
+		Seed:               q.Seed,
+		Workers:            workers,
+		MaxTreeNodes:       q.MaxTreeNodes,
+		OnCandidate:        q.OnCandidate,
+		NoVertexDeletion:   e.cfg.NoVertexDeletion,
+		NoSortLayers:       e.cfg.NoSortLayers,
+		NoInitResult:       e.cfg.NoInitResult,
+		NoEq1Pruning:       e.cfg.NoEq1Pruning,
+		NoOrderPruning:     e.cfg.NoOrderPruning,
+		NoLayerPruning:     e.cfg.NoLayerPruning,
+		NoPotentialPruning: e.cfg.NoPotentialPruning,
+		UseDCCRefine:       e.cfg.UseDCCRefine,
+	}
+}
+
+// Search answers one DCCS query. Cancelling ctx (or exceeding its
+// deadline) stops the search at the next tree-node expansion and returns
+// the valid partial result accumulated so far, with Stats.Truncated and
+// Stats.Interrupted set; ctx == nil behaves like context.Background().
+// The algorithm that ran — auto-selected or explicit — is recorded in
+// Result.Stats.Algorithm.
+func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts := e.options(q)
+	algo := q.Algorithm
+	if algo == "" || algo == AlgoAuto {
+		algo = autoAlgorithm(e.g, q.S)
+	}
+	var res *Result
+	var err error
+	switch algo {
+	case AlgoGreedy:
+		res, err = e.pr.Greedy(ctx, opts)
+	case AlgoBottomUp:
+		res, err = e.pr.BottomUp(ctx, opts)
+	case AlgoTopDown:
+		res, err = e.pr.TopDown(ctx, opts)
+	case AlgoExact:
+		res, err = e.pr.Exact(ctx, opts)
+	default:
+		return nil, fmt.Errorf("dccs: unknown algorithm %q (want auto, greedy, bu, td, exact)", algo)
+	}
+	if err == nil {
+		e.queries.Add(1)
+	}
+	return res, err
+}

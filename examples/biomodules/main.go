@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,10 +31,18 @@ func main() {
 		st.N, st.Layers, st.TotalEdges)
 	fmt.Printf("ground truth: %d planted complexes\n\n", len(ds.Communities))
 
+	// One Engine serves the whole parameter sweep; each distinct d pays
+	// for preparation once, and the repeat d=4 query below is free.
+	eng, err := dccs.NewEngine(g, dccs.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	s := g.L() / 2 // interactions must recur on half the methods
 	fmt.Printf("%-4s %-8s %-10s %-14s %-16s\n", "d", "cores", "cover", "time", "complexes found")
 	for d := 2; d <= 5; d++ {
-		res, err := dccs.Search(g, dccs.Options{D: d, S: s, K: 10, Seed: 42})
+		res, err := eng.Search(ctx, dccs.Query{D: d, S: s, K: 10, Seed: 42})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,8 +53,9 @@ func main() {
 	}
 
 	// Show the strongest module at d=4 together with the layers
-	// (detection methods) supporting it.
-	res, err := dccs.Search(g, dccs.Options{D: 4, S: s, K: 10, Seed: 42})
+	// (detection methods) supporting it. The artifacts for d=4 are
+	// already cached, so this query skips preprocessing entirely.
+	res, err := eng.Search(ctx, dccs.Query{D: 4, S: s, K: 10, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,6 +69,9 @@ func main() {
 	fmt.Printf("\nlargest module at d=4: %d proteins, coherent on methods %v\n",
 		len(c.Vertices), c.Layers)
 	fmt.Printf("members: %v\n", c.Vertices)
+	m := eng.Metrics()
+	fmt.Printf("\nengine: %d queries, coreness built %dx, hierarchy built %dx (once per distinct d)\n",
+		m.Queries, m.CorenessBuilds, m.HierarchyBuilds)
 }
 
 // complexesFound counts planted complexes entirely contained in one of

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,16 +32,21 @@ func main() {
 
 	d, s, k := 3, g.L()/2, 10
 
-	// The three DCCS algorithms.
+	// The three DCCS algorithms, served by one Engine so they share a
+	// single preparation pass (all three run at the same d).
+	eng, err := dccs.NewEngine(g, dccs.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%-10s %-12s %-8s %-10s %-12s %s\n",
 		"algorithm", "time", "cover", "cores", "tree nodes", "largest core")
 	type run struct {
 		name string
-		f    func(*dccs.Graph, dccs.Options) (*dccs.Result, error)
+		sel  dccs.Algorithm
 	}
 	var dccsCover map[int]bool
-	for _, r := range []run{{"greedy", dccs.Greedy}, {"bottom-up", dccs.BottomUp}, {"top-down", dccs.TopDown}} {
-		res, err := r.f(g, dccs.Options{D: d, S: s, K: k, Seed: 42})
+	for _, r := range []run{{"greedy", dccs.AlgoGreedy}, {"bottom-up", dccs.AlgoBottomUp}, {"top-down", dccs.AlgoTopDown}} {
+		res, err := eng.Search(context.Background(), dccs.Query{D: d, S: s, K: k, Seed: 42, Algorithm: r.sel})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,12 +10,19 @@
 // with the bottom-up DCCS algorithm and shows how the support threshold
 // trades recall for confidence.
 //
+// The support sweep runs through one dccs.Engine: the preprocessing
+// artifacts are keyed by d alone, so all three support thresholds share
+// a single preparation pass, and the OnCandidate hook streams each
+// improvement the moment the search finds it — the shape of a newsroom
+// dashboard that shows stories as they surface.
+//
 // Run with:
 //
 //	go run ./examples/stories
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,13 +53,23 @@ func main() {
 		fmt.Printf("planted story %d: %d entities, hours %v\n", i+1, len(s.Vertices), s.Layers)
 	}
 
+	eng, err := dccs.NewEngine(g, dccs.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, support := range []int{3, 6, 9} {
-		res, err := dccs.BottomUp(g, dccs.Options{D: 3, S: support, K: 5, Seed: 7})
+		improvements := 0
+		res, err := eng.Search(context.Background(), dccs.Query{
+			D: 3, S: support, K: 5, Seed: 7, Algorithm: dccs.AlgoBottomUp,
+			// Stream improvements as the search finds them — a server
+			// would push these to clients instead of counting them.
+			OnCandidate: func(dccs.CC) { improvements++ },
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nstories recurring in ≥%d of %d snapshots (d=3, k=5): cover=%d, %v\n",
-			support, snapshots, res.CoverSize, res.Stats.Elapsed.Round(1000))
+		fmt.Printf("\nstories recurring in ≥%d of %d snapshots (d=3, k=5): cover=%d, %v, %d streamed improvements\n",
+			support, snapshots, res.CoverSize, res.Stats.Elapsed.Round(1000), improvements)
 		for _, c := range res.Cores {
 			if len(c.Vertices) == 0 {
 				continue
@@ -61,6 +78,9 @@ func main() {
 				c.Layers, len(c.Vertices), matchLabel(c, stories))
 		}
 	}
+	m := eng.Metrics()
+	fmt.Printf("\nengine: %d queries, one shared preparation (coreness %dx, hierarchy %dx)\n",
+		m.Queries, m.CorenessBuilds, m.HierarchyBuilds)
 }
 
 // plantStories rebuilds the graph with three handcrafted stories on top

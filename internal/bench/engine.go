@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/multilayer"
+	"repro/internal/testutil"
+)
+
+// engineQuery is one measured query of the engine comparison.
+type engineQuery struct {
+	Algo     string  `json:"algo"`
+	D        int     `json:"d"`
+	S        int     `json:"s"`
+	K        int     `json:"k"`
+	Seed     int64   `json:"seed"`
+	ColdSecs float64 `json:"cold_secs"`
+	WarmSecs float64 `json:"warm_secs"`
+	Cover    int     `json:"cover"`
+}
+
+// engineBenchReport is the JSON artifact of the engine comparison,
+// recording cold one-shot calls against Engine-amortized queries — the
+// seed point of the serving-path performance trajectory.
+type engineBenchReport struct {
+	N               int           `json:"n"`
+	Layers          int           `json:"layers"`
+	TotalEdges      int           `json:"total_edges"`
+	Queries         []engineQuery `json:"queries"`
+	ColdSecs        float64       `json:"cold_total_secs"`
+	WarmSecs        float64       `json:"warm_total_secs"`
+	Speedup         float64       `json:"speedup"`
+	CorenessBuilds  int64         `json:"coreness_builds"`
+	HierarchyBuilds int64         `json:"hierarchy_builds"`
+	DistinctD       int           `json:"distinct_d"`
+}
+
+// engineQueryMix is the workload of the comparison: a batch of queries a
+// serving engine would see — one graph, few distinct d values, varying
+// (algo, s, k, Seed). The mix deliberately repeats d so amortization has
+// something to bite on.
+func engineQueryMix(l int) []engineQuery {
+	var qs []engineQuery
+	for _, d := range []int{defaultD, defaultD + 1} {
+		for _, s := range []int{2, defaultS, l - 2} {
+			for seed := int64(1); seed <= 2; seed++ {
+				algo := "bu"
+				if 2*s >= l {
+					algo = "td"
+				}
+				qs = append(qs, engineQuery{Algo: algo, D: d, S: s, K: defaultK, Seed: seed})
+			}
+		}
+	}
+	qs = append(qs,
+		engineQuery{Algo: "greedy", D: defaultD, S: defaultS, K: defaultK, Seed: 1},
+		engineQuery{Algo: "greedy", D: defaultD + 1, S: defaultS, K: defaultK, Seed: 2},
+	)
+	return qs
+}
+
+// runEngineQuery executes one query against a Prepared handle.
+func runEngineQuery(pr *core.Prepared, q engineQuery) (*core.Result, error) {
+	opts := core.Options{D: q.D, S: q.S, K: q.K, Seed: q.Seed}
+	switch q.Algo {
+	case "greedy":
+		return pr.Greedy(context.Background(), opts)
+	case "td":
+		return pr.TopDown(context.Background(), opts)
+	default:
+		return pr.BottomUp(context.Background(), opts)
+	}
+}
+
+// Engine benchmarks the prepared-engine path: every query in the mix is
+// run cold (a fresh Prepared per call, the legacy Search cost model) and
+// warm (one shared Prepared, the dccs.Engine cost model), and the table
+// reports the per-query and total amortization. Results are asserted
+// equal between the two runs — the cache must never change answers.
+func (s *Suite) Engine() ([]*Table, *engineBenchReport, error) {
+	g := s.engineGraph()
+	st := g.Stats()
+	queries := engineQueryMix(g.L())
+
+	report := &engineBenchReport{
+		N: st.N, Layers: st.Layers, TotalEdges: st.TotalEdges,
+	}
+	warm := core.NewPrepared(g, 1)
+	distinct := map[int]bool{}
+	for _, q := range queries {
+		distinct[q.D] = true
+
+		start := time.Now()
+		cold := core.NewPrepared(g, 1)
+		coldRes, err := runEngineQuery(cold, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		coldSecs := time.Since(start).Seconds()
+
+		start = time.Now()
+		warmRes, err := runEngineQuery(warm, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		warmSecs := time.Since(start).Seconds()
+
+		if coldRes.CoverSize != warmRes.CoverSize || !reflect.DeepEqual(coldRes.Cores, warmRes.Cores) {
+			return nil, nil, fmt.Errorf("bench: engine cache changed the answer (%s d=%d s=%d: cold cover %d, warm cover %d)",
+				q.Algo, q.D, q.S, coldRes.CoverSize, warmRes.CoverSize)
+		}
+
+		q.ColdSecs, q.WarmSecs, q.Cover = coldSecs, warmSecs, warmRes.CoverSize
+		report.Queries = append(report.Queries, q)
+		report.ColdSecs += coldSecs
+		report.WarmSecs += warmSecs
+	}
+	if report.WarmSecs > 0 {
+		report.Speedup = report.ColdSecs / report.WarmSecs
+	}
+	counters := warm.Counters()
+	report.CorenessBuilds = counters.CorenessBuilds
+	report.HierarchyBuilds = counters.HierarchyBuilds
+	report.DistinctD = len(distinct)
+
+	t := &Table{
+		Title:  "Engine: cold one-shot calls vs amortized prepared handle",
+		Header: []string{"algo", "d", "s", "cold s", "warm s", "speedup", "|Cov|"},
+		Notes: []string{
+			fmt.Sprintf("benchmark graph: n=%d l=%d Σ|E|=%d; %d queries, %d distinct d",
+				st.N, st.Layers, st.TotalEdges, len(queries), len(distinct)),
+			fmt.Sprintf("totals: cold %.3fs, warm %.3fs, speedup %.2fx", report.ColdSecs, report.WarmSecs, report.Speedup),
+			fmt.Sprintf("warm engine built coreness %dx, hierarchy %dx for %d queries",
+				report.CorenessBuilds, report.HierarchyBuilds, len(queries)),
+		},
+	}
+	for _, q := range report.Queries {
+		sp := 0.0
+		if q.WarmSecs > 0 {
+			sp = q.ColdSecs / q.WarmSecs
+		}
+		t.Add(q.Algo, q.D, q.S, q.ColdSecs, q.WarmSecs, fmt.Sprintf("%.2fx", sp), q.Cover)
+	}
+	return []*Table{t}, report, nil
+}
+
+// engineGraph generates the benchmark graph for the engine comparison:
+// correlated layers dense enough that preprocessing (per-layer cores and
+// the removal hierarchy) is a visible fraction of a query.
+func (s *Suite) engineGraph() *multilayer.Graph {
+	n := 2500
+	if s.Quick {
+		n = 800
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	return testutil.RandomCorrelatedGraph(rng, n, 8, 0.15, 0.8, 0.05)
+}
+
+// RunEngine executes the engine comparison, prints its table, and — when
+// OutDir is set — writes the BENCH_engine.json artifact.
+func (s *Suite) RunEngine() error {
+	if s.W == nil {
+		return fmt.Errorf("bench: no output writer")
+	}
+	start := time.Now()
+	tables, report, err := s.Engine()
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Fprint(s.W)
+	}
+	if s.OutDir != "" {
+		if err := os.MkdirAll(s.OutDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(s.OutDir, "BENCH_engine.json")
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.W, "artifact: %s\n", path)
+	}
+	fmt.Fprintf(s.W, "[engine done in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunEngineSmoke runs the cold-vs-amortized engine comparison end
+// to end at quick scale and checks the table, the JSON artifact, and
+// the amortization contract the artifact records: one coreness build
+// and one hierarchy build per distinct d for the whole query batch.
+func TestRunEngineSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full engine query mix")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	s := &Suite{W: &buf, Quick: true, Scale: 0.02, Seed: 1, OutDir: dir}
+	if err := s.RunEngine(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Engine: cold one-shot calls", "speedup", "warm engine built"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+
+	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_engine.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report engineBenchReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Queries) == 0 {
+		t.Fatal("artifact records no queries")
+	}
+	if report.CorenessBuilds != 1 {
+		t.Errorf("CorenessBuilds = %d, want 1", report.CorenessBuilds)
+	}
+	if report.HierarchyBuilds != int64(report.DistinctD) {
+		t.Errorf("HierarchyBuilds = %d, want %d (one per distinct d)",
+			report.HierarchyBuilds, report.DistinctD)
+	}
+	if report.WarmSecs <= 0 || report.ColdSecs <= 0 {
+		t.Errorf("timings not recorded: cold=%v warm=%v", report.ColdSecs, report.WarmSecs)
+	}
+}

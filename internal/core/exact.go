@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -14,18 +15,30 @@ import (
 // exponential subset search is hopeless anyway.
 const ExactLimit = 64
 
-// ExactDCCS solves the DCCS problem optimally by enumerating every
-// candidate d-CC and searching all k-subsets with branch-and-bound. The
-// DCCS problem is NP-complete, so this is only feasible for small
-// instances — it returns an error when the graph has more than ExactLimit
-// distinct non-empty candidates. Intended for ground truth in tests,
-// calibration and small analyses.
+// ExactDCCS solves the DCCS problem optimally through a throwaway
+// Prepared handle; see (*Prepared).Exact.
 func ExactDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
-	if err := opts.Validate(g); err != nil {
+	return NewPrepared(g, opts.MaterializeWorkers()).Exact(context.Background(), opts)
+}
+
+// Exact solves the DCCS problem optimally by enumerating every candidate
+// d-CC and searching all k-subsets with branch-and-bound. The DCCS
+// problem is NP-complete, so this is only feasible for small instances —
+// it returns an error when the graph has more than ExactLimit distinct
+// non-empty candidates. Intended for ground truth in tests, calibration
+// and small analyses.
+//
+// Cancelling ctx stops both the candidate enumeration and the
+// branch-and-bound, returning the best solution found so far with
+// Stats.Truncated and Stats.Interrupted set — the result is then a valid
+// cover but no longer guaranteed optimal.
+func (pr *Prepared) Exact(ctx context.Context, opts Options) (*Result, error) {
+	if err := opts.Validate(pr.g); err != nil {
 		return nil, err
 	}
+	g := pr.g
 	start := time.Now()
-	p := preprocess(g, opts)
+	p := pr.newPrep(ctx, opts)
 
 	// Enumerate distinct non-empty candidates (duplicates — different
 	// layer subsets with identical d-CCs — contribute identical
@@ -39,6 +52,9 @@ func ExactDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
 	comb := make([]int, opts.S)
 	var rec func(next, idx int)
 	rec = func(next, idx int) {
+		if p.interrupted() {
+			return
+		}
 		if idx == opts.S {
 			layers := append([]int(nil), comb...)
 			cc := kcore.DCC(g, p.alive, layers, opts.D)
@@ -73,6 +89,9 @@ func ExactDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
 	pick := make([]int, 0, opts.K)
 	var dfs func(next int)
 	dfs = func(next int) {
+		if p.interrupted() {
+			return
+		}
 		if cur.Count() > best {
 			best = cur.Count()
 			bestPick = append(bestPick[:0], pick...)
@@ -115,6 +134,7 @@ func ExactDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
 		return lessIntSlices(res.Cores[a].Layers, res.Cores[b].Layers)
 	})
 	res.Stats = p.stats.snapshot()
+	res.Stats.Algorithm = AlgoNameExact
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }

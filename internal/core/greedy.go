@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/bitset"
@@ -15,11 +16,19 @@ type candidate struct {
 	vertices []int32
 }
 
-// GreedyDCCS implements the GD-DCCS algorithm (Fig 2): it computes the
-// d-CC for every layer subset of size s — using the Lemma 1 intersection
-// bound to shrink each dCC computation to the intersection of the
-// per-layer d-cores — and then greedily picks the k candidates with
-// maximum marginal coverage. Approximation ratio 1 − 1/e (Theorem 2).
+// GreedyDCCS implements the GD-DCCS algorithm (Fig 2) through a
+// throwaway Prepared handle. Long-lived callers should hold a Prepared
+// (or the public dccs.Engine) and use its Greedy method, which amortizes
+// preprocessing across queries.
+func GreedyDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
+	return NewPrepared(g, opts.MaterializeWorkers()).Greedy(context.Background(), opts)
+}
+
+// Greedy runs the GD-DCCS algorithm (Fig 2): it computes the d-CC for
+// every layer subset of size s — using the Lemma 1 intersection bound to
+// shrink each dCC computation to the intersection of the per-layer
+// d-cores — and then greedily picks the k candidates with maximum
+// marginal coverage. Approximation ratio 1 − 1/e (Theorem 2).
 //
 // Of the §IV-C preprocessing methods only vertex deletion applies to the
 // greedy algorithm: its two phases are separate, so layer sorting cannot
@@ -28,13 +37,17 @@ type candidate struct {
 //
 // Candidate materialization is sharded across Options.Workers (the layer
 // subsets are independent, so the parallel run yields byte-identical
-// output); the greedy selection is a cheap sequential scan.
-func GreedyDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
-	if err := opts.Validate(g); err != nil {
+// output); the greedy selection is a cheap sequential scan. Cancelling
+// ctx stops the enumeration and the selection at the next step, and the
+// result reflects the candidates materialized so far, with
+// Stats.Truncated and Stats.Interrupted set.
+func (pr *Prepared) Greedy(ctx context.Context, opts Options) (*Result, error) {
+	if err := opts.Validate(pr.g); err != nil {
 		return nil, err
 	}
+	g := pr.g
 	start := time.Now()
-	p := preprocess(g, opts)
+	p := pr.newPrep(ctx, opts)
 
 	// Phase 1 (lines 2–7): generate all candidate d-CCs.
 	all := p.materialize()
@@ -44,6 +57,9 @@ func GreedyDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
 	used := make([]bool, len(all))
 	res := &Result{}
 	for pick := 0; pick < opts.K && pick < len(all); pick++ {
+		if p.interrupted() {
+			break
+		}
 		best, bestGain := -1, -1
 		for i, c := range all {
 			if used[i] {
@@ -65,9 +81,11 @@ func GreedyDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
 			covered.Add(int(v))
 		}
 		res.Cores = append(res.Cores, CC{Layers: all[best].layers, Vertices: all[best].vertices})
+		p.notify(all[best].vertices, all[best].layers)
 	}
 	res.CoverSize = covered.Count()
 	res.Stats = p.stats.snapshot()
+	res.Stats.Algorithm = AlgoNameGreedy
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -81,7 +99,7 @@ func GreedyDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
 // run's.
 func (p *prep) materialize() []candidate {
 	l, s := p.g.L(), p.opts.S
-	workers := p.opts.materializeWorkers()
+	workers := p.opts.MaterializeWorkers()
 	if workers <= 1 {
 		var all []candidate
 		p.enumerate(make([]int, s), 0, 0, nil, &all)
@@ -138,6 +156,9 @@ func (p *prep) materialize() []candidate {
 // intersection of the d-cores of comb[:idx] (nil when idx == 0).
 func (p *prep) enumerate(comb []int, idx, next int, inter *bitset.Set, out *[]candidate) {
 	g, s := p.g, p.opts.S
+	if p.interrupted() {
+		return
+	}
 	if idx == s {
 		p.stats.treeNodes.Add(1)
 		layers := make([]int, s)

@@ -1,18 +1,19 @@
 package core
 
 import (
-	"repro/internal/bitset"
+	"math/bits"
+
 	"repro/internal/kcore"
 	"repro/internal/multilayer"
 )
 
 // tdIndex is the removal-hierarchy index of §V-C. Vertices are removed
-// from the (preprocessed) graph in batches: at threshold h, every vertex
-// whose support Num(v) has dropped to ≤ h is removed, cores are
-// recomputed, and the process repeats before h advances. Each batch is
-// one level; I_h is the union of the levels processed at threshold h.
-// Each vertex records the layer set L(v) whose d-cores contained it just
-// before its batch was removed.
+// from the graph in batches: at threshold h, every vertex whose support
+// Num(v) has dropped to ≤ h is removed, cores are recomputed, and the
+// process repeats before h advances. Each batch is one level; I_h is the
+// union of the levels processed at threshold h. Each vertex records the
+// layer set L(v) whose d-cores contained it just before its batch was
+// removed.
 //
 // The index justifies two prunings used by RefineC:
 //
@@ -21,26 +22,62 @@ import (
 //     ≥ |L′|, and thresholds only grow.
 //   - Lemma 9: every member of C^d_{L′} is reachable from a "seed" vertex
 //     w0 with L′ ⊆ L(w0) along index edges ascending through the levels.
+//
+// The index is built on the full graph, threshold 0 included, so it is
+// keyed by d alone and shared read-only by every query: queries with a
+// support threshold s only ever probe vertices with h(v) ≥ |L′| ≥ s, and
+// the batch sequence at thresholds ≥ s is identical to the one an index
+// built on the s-preprocessed graph would produce (see DESIGN.md).
 type tdIndex struct {
 	h        []int32   // threshold at which the vertex was removed
 	level    []int32   // 1-based batch number (global, increasing)
-	lmask    []uint64  // L(v) as an original-layer bitmask
+	lmask    []uint64  // L(v) as an original-layer bitmask (l ≤ 64 only)
 	levels   [][]int32 // levels[i] = vertices of batch i+1
 	unionAdj [][]int32 // index edges: union adjacency among indexed vertices
 }
 
-// buildIndex constructs the removal-hierarchy index of the subgraph of g
-// induced by alive, for degree threshold d. It requires l(g) ≤ 64. The
-// initial per-layer core decomposition is sharded across workers; the
-// batch removal sweep itself is a sequential fixpoint.
-func buildIndex(g *multilayer.Graph, d int, alive *bitset.Set, workers int) *tdIndex {
+// hierarchy bundles the per-d artifacts one removal-hierarchy sweep over
+// the full graph yields:
+//
+//   - idx: the top-down removal-hierarchy index above;
+//   - coreh[i][v]: the threshold at which v dropped out of layer i's
+//     d-core (0 when v was never a member).
+//
+// Because the §IV-C vertex-deletion fixpoint for support s equals the
+// hierarchy state after threshold s−1, the survivors for ANY s are
+// {v : idx.h[v] ≥ s} and the reduced d-core of layer i is
+// {v : coreh[i][v] ≥ s} — the whole preprocessing phase becomes two O(n)
+// scans per query once the hierarchy is cached.
+type hierarchy struct {
+	idx   *tdIndex
+	coreh [][]int32
+}
+
+// buildHierarchy constructs the removal hierarchy of g for degree
+// threshold d, seeding the tracker from the caller's (required)
+// per-layer coreness arrays so the initial peel is skipped. unionAdj is
+// the caller's materialized union adjacency, referenced as the index
+// edges; like the lmask field it requires l(g) ≤ 64 and is skipped (nil)
+// beyond that — the top-down algorithm rejects such graphs before
+// touching either. The h, level and coreh arrays are always populated,
+// which is all the bottom-up and greedy paths consume.
+func buildHierarchy(g *multilayer.Graph, d int, coreness [][]int, unionAdj [][]int32, workers int) *hierarchy {
 	n := g.N()
 	idx := &tdIndex{
 		h:     make([]int32, n),
 		level: make([]int32, n),
-		lmask: make([]uint64, n),
 	}
-	tr := kcore.NewTrackerN(g, d, alive, workers)
+	hr := &hierarchy{idx: idx, coreh: make([][]int32, g.L())}
+	for i := range hr.coreh {
+		hr.coreh[i] = make([]int32, n)
+	}
+	wide := g.L() > 64
+	if !wide {
+		idx.lmask = make([]uint64, n)
+		idx.unionAdj = unionAdj
+	}
+
+	tr := kcore.NewTrackerFromCoreness(g, d, coreness, workers)
 
 	// Bucket queue over support counts. Stale entries are tolerated and
 	// validated against the tracker on pop; each vertex re-enters a
@@ -48,16 +85,24 @@ func buildIndex(g *multilayer.Graph, d int, alive *bitset.Set, workers int) *tdI
 	// O(n·l) plus the tracker's own O(Σ m_i).
 	buckets := make([][]int32, g.L()+1)
 	inBatch := make([]bool, n)
-	alive.ForEach(func(v int) bool {
+	for v := 0; v < n; v++ {
 		buckets[tr.Num(v)] = append(buckets[tr.Num(v)], int32(v))
-		return true
-	})
+	}
 	tr.NumListener = func(v int) {
 		buckets[tr.Num(v)] = append(buckets[tr.Num(v)], int32(v))
 	}
 
+	curH := int32(0)
+	tr.CoreListener = func(layer, v int) {
+		hr.coreh[layer][v] = curH
+	}
+
 	level := int32(0)
-	for h := 1; h <= g.L(); h++ {
+	// Threshold 0 first: vertices supported by no layer at all, the ones
+	// vertex deletion would remove even at s = 1. Their removal cannot
+	// cascade (they sit outside every core), so the batch is one sweep.
+	for h := 0; h <= g.L(); h++ {
+		curH = int32(h)
 		for {
 			// Collect the batch: all still-alive vertices whose current
 			// support is ≤ h.
@@ -84,12 +129,27 @@ func buildIndex(g *multilayer.Graph, d int, alive *bitset.Set, workers int) *tdI
 			level++
 			// Record L(v) for the whole batch before any removal: the
 			// paper evaluates the core memberships "just before v is
-			// removed from G in batch".
+			// removed from G in batch". The same memberships seed coreh —
+			// removing v ends its membership in every layer it still
+			// belongs to, and the cascade listener covers the rest.
 			for _, v32 := range batch {
 				v := int(v32)
 				idx.h[v] = int32(h)
 				idx.level[v] = level
-				idx.lmask[v] = tr.CoreLayers(v)
+				if wide {
+					for i := 0; i < g.L(); i++ {
+						if tr.Core(i).Contains(v) {
+							hr.coreh[i][v] = int32(h)
+						}
+					}
+				} else {
+					mask := tr.CoreLayers(v)
+					idx.lmask[v] = mask
+					for mask != 0 {
+						hr.coreh[bits.TrailingZeros64(mask)][v] = int32(h)
+						mask &= mask - 1
+					}
+				}
 			}
 			idx.levels = append(idx.levels, batch)
 			for _, v32 := range batch {
@@ -98,18 +158,5 @@ func buildIndex(g *multilayer.Graph, d int, alive *bitset.Set, workers int) *tdI
 		}
 	}
 
-	// Index edges: union adjacency restricted to the indexed vertices.
-	idx.unionAdj = make([][]int32, n)
-	alive.ForEach(func(v int) bool {
-		all := g.UnionNeighbors(v)
-		kept := all[:0]
-		for _, u := range all {
-			if alive.Contains(int(u)) {
-				kept = append(kept, u)
-			}
-		}
-		idx.unionAdj[v] = kept
-		return true
-	})
-	return idx
+	return hr
 }

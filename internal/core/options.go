@@ -99,13 +99,25 @@ type Options struct {
 	// far and Stats.Truncated is set — the approximation guarantee no
 	// longer applies.
 	MaxTreeNodes int
+
+	// OnCandidate, when non-nil, is invoked with every candidate that
+	// improves the temporary top-k result set, in improvement order — an
+	// incremental progress stream for servers pushing partial answers.
+	// The CC's slices are copies owned by the callback, safe to retain
+	// or mutate. Streamed candidates are genuine d-CCs but not commitments: later
+	// Rule 2 replacements may evict them from the final result, and under
+	// a parallel search (Workers > 1) the hook fires concurrently from
+	// worker goroutines reporting their subtree-local improvements, so
+	// the callback must be safe for concurrent use. The exact solver does
+	// not stream (its branch-and-bound has no monotone incumbent set).
+	OnCandidate func(CC)
 }
 
-// materializeWorkers resolves Workers for the deterministic parallel
+// MaterializeWorkers resolves Workers for the deterministic parallel
 // stages (greedy candidate materialization, per-layer core
 // decomposition), whose parallel output is identical to the serial one:
 // the zero value already means "use the hardware".
-func (o Options) materializeWorkers() int {
+func (o Options) MaterializeWorkers() int {
 	if o.Workers == 0 {
 		return runtime.GOMAXPROCS(0)
 	}
@@ -142,6 +154,15 @@ func (o Options) Validate(g *multilayer.Graph) error {
 	return nil
 }
 
+// Canonical Stats.Algorithm values, the single source the public
+// Algorithm constants alias; each entry point stamps its own name.
+const (
+	AlgoNameGreedy = "greedy"
+	AlgoNameBU     = "bu"
+	AlgoNameTD     = "td"
+	AlgoNameExact  = "exact"
+)
+
 // CC is one d-coherent core in a result: the maximal vertex set that is
 // d-dense on every layer in Layers.
 type CC struct {
@@ -169,9 +190,20 @@ type Stats struct {
 	Updates int
 	// Pruned counts subtrees eliminated by the pruning lemmas.
 	Pruned int
-	// Truncated reports that Options.MaxTreeNodes stopped the search
-	// before the tree was exhausted.
+	// Truncated reports that the search stopped before the tree was
+	// exhausted — by the Options.MaxTreeNodes budget, by context
+	// cancellation, or by a deadline. The result is still valid; the
+	// approximation guarantee no longer applies.
 	Truncated bool
+	// Interrupted reports that the stop was caused by the query context
+	// (cancellation or deadline) rather than the node budget. Implies
+	// Truncated.
+	Interrupted bool
+	// Algorithm records which algorithm actually ran: "greedy", "bu",
+	// "td" or "exact". Auto-selection (including the silent bottom-up
+	// fallback for graphs beyond the top-down layer limit) is thereby
+	// visible in the result.
+	Algorithm string
 	// Elapsed is the wall-clock duration of the run, including
 	// preprocessing.
 	Elapsed time.Duration

@@ -1,0 +1,212 @@
+// Prepared graph handles: the context-aware engine substrate.
+//
+// The DCCS algorithms share an expensive per-graph preparation phase that
+// is independent of the query parameters (s, k, Seed) and depends on d
+// only through the removal hierarchy: per-layer coreness (d-independent),
+// and per d the full-graph removal hierarchy of §V-C, from which the
+// §IV-C vertex-deletion survivors and reduced per-layer cores for EVERY
+// support threshold s fall out as O(n) level-set scans. A Prepared caches
+// both tiers and serves concurrent, cancellable queries; the free
+// functions (GreedyDCCS & co.) remain as thin wrappers over a throwaway
+// Prepared.
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/kcore"
+	"repro/internal/multilayer"
+	"repro/internal/pool"
+)
+
+// Prepared is a long-lived handle on one immutable graph that amortizes
+// preprocessing across queries. It is safe for concurrent use: artifact
+// construction is guarded, queries only read the cache.
+type Prepared struct {
+	g       *multilayer.Graph
+	workers int
+
+	corenessOnce sync.Once
+	coreness     [][]int // per layer: full core decomposition (d-independent)
+	maxCoreness  int     // max over layers and vertices; set with coreness
+
+	unionAdjOnce sync.Once
+	unionAdj     [][]int32 // union adjacency (d-independent, shared by all hierarchies)
+
+	mu  sync.Mutex
+	byD map[int]*dArtifact
+
+	corenessBuilds  atomic.Int64
+	hierarchyBuilds atomic.Int64
+}
+
+// dArtifact is the lazily built per-d cache slot. The once gate makes
+// concurrent first queries for the same d build the hierarchy exactly
+// once while distinct d values build independently.
+type dArtifact struct {
+	once sync.Once
+	hier *hierarchy
+}
+
+// PreparedCounters reports how often each artifact tier was actually
+// built — the observable half of the amortization contract: after any
+// number of queries, CorenessBuilds is at most 1 and HierarchyBuilds is
+// at most the number of distinct d values queried.
+type PreparedCounters struct {
+	CorenessBuilds  int64
+	HierarchyBuilds int64
+}
+
+// NewPrepared returns a prepared handle on g. workers bounds the
+// parallelism of artifact construction (≤ 0 means serial). Artifacts are
+// built lazily on first use; NewPrepared itself is cheap.
+func NewPrepared(g *multilayer.Graph, workers int) *Prepared {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Prepared{g: g, workers: workers, byD: map[int]*dArtifact{}}
+}
+
+// Graph returns the underlying graph.
+func (pr *Prepared) Graph() *multilayer.Graph { return pr.g }
+
+// Counters returns the artifact-build counters.
+func (pr *Prepared) Counters() PreparedCounters {
+	return PreparedCounters{
+		CorenessBuilds:  pr.corenessBuilds.Load(),
+		HierarchyBuilds: pr.hierarchyBuilds.Load(),
+	}
+}
+
+// Prepare eagerly builds the cached artifacts for degree threshold d —
+// the per-layer coreness (shared by all d) and the per-d removal
+// hierarchy — so the first query for that d does not pay construction
+// latency.
+func (pr *Prepared) Prepare(d int) {
+	pr.hierarchyFor(d)
+}
+
+// layerCoreness returns the d-independent per-layer coreness arrays,
+// computing them on first use (sharded across layers).
+func (pr *Prepared) layerCoreness() [][]int {
+	pr.corenessOnce.Do(func() {
+		pr.coreness = make([][]int, pr.g.L())
+		pool.Run(pr.workers, pr.g.L(), func(i int) {
+			pr.coreness[i] = kcore.Coreness(pr.g, i, nil)
+		})
+		for _, cn := range pr.coreness {
+			for _, c := range cn {
+				if c > pr.maxCoreness {
+					pr.maxCoreness = c
+				}
+			}
+		}
+		pr.corenessBuilds.Add(1)
+	})
+	return pr.coreness
+}
+
+// unionAdjacency returns the d-independent union adjacency consumed by
+// refineC's seed flood, computing it on first use. It is shared by
+// every per-d hierarchy — UnionNeighbors allocates per call, so the
+// lists must be materialized once, never in refineC's inner loops. Only
+// built for graphs within the top-down layer limit, the sole consumer.
+func (pr *Prepared) unionAdjacency() [][]int32 {
+	pr.unionAdjOnce.Do(func() {
+		pr.unionAdj = make([][]int32, pr.g.N())
+		pool.Run(pr.workers, pr.g.N(), func(v int) {
+			pr.unionAdj[v] = pr.g.UnionNeighbors(v)
+		})
+	})
+	return pr.unionAdj
+}
+
+// hierarchyFor returns the per-d removal hierarchy, building it on first
+// use for that d. The cache key is clamped at maxCoreness+1: for every d
+// beyond the graph's maximum coreness all per-layer d-cores are empty,
+// so the hierarchies are identical and one sentinel entry serves them
+// all. Distinct cache entries are thereby bounded by the graph's
+// structure, never by the (query-controlled) range of D values seen.
+func (pr *Prepared) hierarchyFor(d int) *hierarchy {
+	coreness := pr.layerCoreness() // also resolves maxCoreness
+	if d > pr.maxCoreness+1 {
+		d = pr.maxCoreness + 1
+	}
+	var unionAdj [][]int32
+	if pr.g.L() <= 64 {
+		unionAdj = pr.unionAdjacency()
+	}
+	pr.mu.Lock()
+	a := pr.byD[d]
+	if a == nil {
+		a = &dArtifact{}
+		pr.byD[d] = a
+	}
+	pr.mu.Unlock()
+	a.once.Do(func() {
+		a.hier = buildHierarchy(pr.g, d, coreness, unionAdj, pr.workers)
+		pr.hierarchyBuilds.Add(1)
+	})
+	return a.hier
+}
+
+// newPrep derives the per-query search state from the cached artifacts:
+// the vertex-deletion survivors and reduced per-layer d-cores for this
+// query's s are the level sets {h(v) ≥ s} and {coreh_i(v) ≥ s} of the
+// per-d hierarchy — two O(n·l) scans instead of a fresh decomposition.
+// The bitsets are freshly allocated per query, so queries never share
+// mutable state; the tdIndex is shared read-only.
+func (pr *Prepared) newPrep(ctx context.Context, opts Options) *prep {
+	g := pr.g
+	hr := pr.hierarchyFor(opts.D)
+	p := &prep{
+		g:    g,
+		opts: opts,
+		ctx:  ctx,
+		idx:  hr.idx,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+	n := g.N()
+	minH := int32(opts.S)
+	if opts.NoVertexDeletion {
+		// Fig 28's No-VD ablation: every vertex stays, the cores are the
+		// initial d-cores (membership outlived threshold 0).
+		minH = 1
+		p.alive = bitset.NewFull(n)
+	} else {
+		p.alive = bitset.New(n)
+		for v := 0; v < n; v++ {
+			if hr.idx.h[v] >= minH {
+				p.alive.Add(v)
+			}
+		}
+		p.stats.preprocessRemoved.Add(int64(n - p.alive.Count()))
+	}
+	p.cores = make([]*bitset.Set, g.L())
+	for i := 0; i < g.L(); i++ {
+		core := bitset.New(n)
+		ch := hr.coreh[i]
+		for v := 0; v < n; v++ {
+			if ch[v] >= minH {
+				core.Add(v)
+			}
+		}
+		p.cores[i] = core
+	}
+	p.order = make([]int, g.L())
+	for i := range p.order {
+		p.order[i] = i
+	}
+	return p
+}
+
+// preprocess runs the §IV-C preprocessing through a throwaway Prepared,
+// preserving the historical entry point for tests and the free-function
+// wrappers.
+func preprocess(g *multilayer.Graph, opts Options) *prep {
+	return NewPrepared(g, opts.MaterializeWorkers()).newPrep(context.Background(), opts)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -11,13 +12,19 @@ import (
 	"repro/internal/multilayer"
 )
 
-// prep holds the state shared by the DCCS algorithms after the §IV-C
-// preprocessing: the alive vertex set left by vertex deletion, the
-// per-layer d-cores of the reduced graph, and the layer permutation
-// induced by layer sorting.
+// prep holds the per-query state the DCCS algorithms run against, derived
+// from a Prepared's cached artifacts by newPrep: the alive vertex set
+// left by vertex deletion (§IV-C, lines 1–7 of BU-DCCS, Fig 7), the
+// per-layer d-cores of the reduced graph, the layer permutation induced
+// by layer sorting, and the query's context. Layer sorting and result
+// initialization are applied separately by each algorithm since their
+// direction differs (BU sorts descending, TD ascending, GD is
+// order-insensitive).
 type prep struct {
 	g     *multilayer.Graph
 	opts  Options
+	ctx   context.Context // query lifetime; nil means run to completion
+	idx   *tdIndex        // shared read-only per-d removal hierarchy index
 	alive *bitset.Set
 	cores []*bitset.Set // per original layer, restricted to alive
 	order []int         // position -> original layer id
@@ -25,48 +32,43 @@ type prep struct {
 	stats runStats
 }
 
-// preprocess runs vertex deletion (lines 1–7 of BU-DCCS, Fig 7) and
-// computes the per-layer d-cores of the reduced graph. Layer sorting and
-// result initialization are applied separately by each algorithm since
-// their direction differs (BU sorts descending, TD ascending, GD is
-// order-insensitive).
-func preprocess(g *multilayer.Graph, opts Options) *prep {
-	p := &prep{
-		g:    g,
-		opts: opts,
-		rng:  rand.New(rand.NewSource(opts.Seed)),
+// interrupted reports whether the query's context has been cancelled or
+// its deadline exceeded, marking the run truncated+interrupted on the
+// first positive answer. The search loops consult it at every tree-node
+// expansion, so cancellation yields a valid partial result instead of
+// burning CPU; under the parallel engine every worker checks the same
+// shared context.
+func (p *prep) interrupted() bool {
+	if p.ctx == nil || p.ctx.Err() == nil {
+		return false
 	}
-	tr := kcore.NewTrackerN(g, opts.D, nil, opts.materializeWorkers())
-	if !opts.NoVertexDeletion {
-		// Remove every vertex whose support Num(v) — the number of layers
-		// whose d-core contains it — is below s, until a fixpoint.
-		for {
-			var victims []int
-			tr.Alive().ForEach(func(v int) bool {
-				if tr.Num(v) < opts.S {
-					victims = append(victims, v)
-				}
-				return true
-			})
-			if len(victims) == 0 {
-				break
-			}
-			for _, v := range victims {
-				tr.RemoveVertex(v)
-			}
-			p.stats.preprocessRemoved.Add(int64(len(victims)))
-		}
+	p.stats.truncated.Store(true)
+	p.stats.interrupted.Store(true)
+	return true
+}
+
+// admitNode gates one search-tree node expansion on both the query
+// context and the MaxTreeNodes budget.
+func (p *prep) admitNode() bool {
+	if p.interrupted() {
+		return false
 	}
-	p.alive = tr.Alive().Clone()
-	p.cores = make([]*bitset.Set, g.L())
-	for i := 0; i < g.L(); i++ {
-		p.cores[i] = tr.Core(i).Clone()
+	return p.stats.addTreeNode(p.opts.MaxTreeNodes)
+}
+
+// notify streams a successful result-set update to the query's
+// OnCandidate hook, if any. The slices handed over are copies: the
+// originals are retained by the top-k set (and, for greedy, the result
+// under construction), so a callback that mutates or keeps its CC must
+// not be able to corrupt the engine's state.
+func (p *prep) notify(vertices []int32, layers []int) {
+	if p.opts.OnCandidate == nil {
+		return
 	}
-	p.order = make([]int, g.L())
-	for i := range p.order {
-		p.order[i] = i
-	}
-	return p
+	p.opts.OnCandidate(CC{
+		Layers:   append([]int(nil), layers...),
+		Vertices: append([]int32(nil), vertices...),
+	})
 }
 
 // sortLayers fixes the layer permutation: descending |C^d(G_i)| for the
@@ -108,6 +110,9 @@ func (p *prep) initTopK(topk *coverage.TopK) {
 	}
 	g, d, s, k := p.g, p.opts.D, p.opts.S, p.opts.K
 	for pass := 0; pass < k; pass++ {
+		if p.interrupted() {
+			return
+		}
 		best, bestGain := -1, -1
 		for i := 0; i < g.L(); i++ {
 			gain := 0
@@ -139,8 +144,9 @@ func (p *prep) initTopK(topk *coverage.TopK) {
 		sort.Ints(L)
 		cc := kcore.DCC(g, C, L, d)
 		p.stats.dccCalls.Add(1)
-		if topk.Update(cc.Slice32(), L) {
+		if vs := cc.Slice32(); topk.Update(vs, L) {
 			p.stats.updates.Add(1)
+			p.notify(vs, L)
 		}
 	}
 }

@@ -98,22 +98,25 @@ func removablePos(lpos []int, l int) []int {
 // refineC computes the exact C^d_{L′} inside the potential set U (Fig 10).
 //
 // The search scope is narrowed to Z = U ∩ ∪_{h ≥ |L′|} I_h (Lemma 8) and
-// then walked level by level: vertices proven outside the core are
-// *discarded* (cascading exact d⁺ counter maintenance over the layers of
-// L′); vertices that may belong are *undetermined*. A vertex enters the
-// undetermined state either as a seed — L′ ⊆ L(v), the start of a Lemma 9
-// sequence — or by being reached from an undetermined vertex along an
-// index edge that does not descend the level order. Every transition into
-// the undetermined state performs the degree test immediately.
+// then resolved by a seed flood: every vertex with L′ ⊆ L(v) is a seed
+// (Lemma 9), marking spreads from the seeds along index edges through Z,
+// each marked vertex is degree-tested against exact d⁺ counters, and
+// failures are *discarded* with cascading counter maintenance over the
+// layers of L′. Vertices the flood never reaches are discarded at the
+// end (with the same cascade), so the surviving marked set is d-dense on
+// every layer of L′ — hence ⊆ C^d_{L′} — while every member of C^d_{L′}
+// is reached: each union-connected component of the core is itself
+// d-dense per layer (no layer edge leaves a union component), so the
+// component's first-removed vertex still saw the whole component alive
+// and carries L′ ⊆ L(v).
 //
-// Two deliberate strengthenings over the printed pseudocode (see
-// DESIGN.md): the seed test is applied to unexplored vertices on every
-// level (the paper's Case 2 discards them unconditionally, which can drop
-// single-vertex Lemma 9 sequences), and marking reaches same-level
-// neighbours (the printed marking is strictly upward, which can orphan
-// members whose support sits entirely in their own batch). Both keep the
-// result d-dense, hence still ⊆ C^d_{L′}; tests check exact equality with
-// the dCC reference on randomized instances.
+// This deliberately strengthens the printed pseudocode (see DESIGN.md):
+// the paper walks the levels in batch order and only marks upward, which
+// discards members whose union path to their component's seed passes
+// through a higher level — the seed flood ignores levels entirely, and
+// applies the seed test to every scope vertex rather than only the
+// lowest batch. Tests check exact equality with the dCC reference on
+// randomized instances.
 func (t *tdSearch) refineC(u *bitset.Set, lpos []int) *bitset.Set {
 	p := t.prep
 	g, d := p.g, p.opts.D
@@ -149,9 +152,7 @@ func (t *tdSearch) refineC(u *bitset.Set, lpos []int) *bitset.Set {
 		return true
 	})
 
-	// Group Z by index level, ascending.
 	members := z.Slice32()
-	sortByLevel(members, t.idx.level)
 
 	discard := func(v int) {
 		state[v] = stDiscarded
@@ -186,67 +187,44 @@ func (t *tdSearch) refineC(u *bitset.Set, lpos []int) *bitset.Set {
 		return true
 	}
 
+	// Seed the flood with every Lemma 9 seed in the scope.
 	queue := t.scratchQueue[:0]
-	for lo := 0; lo < len(members); {
-		hi := lo
-		lev := t.idx.level[members[lo]]
-		for hi < len(members) && t.idx.level[members[hi]] == lev {
-			hi++
+	for _, v32 := range members {
+		if t.idx.lmask[v32]&wantMask == wantMask {
+			state[v32] = stUndetermined
+			queue = append(queue, v32)
 		}
-		levelMembers := members[lo:hi]
-		lo = hi
-
-		// Phase A: vertices already undetermined (marked from below) are
-		// degree-checked and propagate marks; same-level marks join this
-		// queue, upward marks wait for their own level.
-		queue = queue[:0]
-		for _, v32 := range levelMembers {
-			if state[v32] == stUndetermined {
-				queue = append(queue, v32)
-			}
+	}
+	// Flood: degree-test marked vertices and mark their unexplored scope
+	// neighbours; discards cascade through the counters as usual.
+	for len(queue) > 0 {
+		v := int(queue[len(queue)-1])
+		queue = queue[:len(queue)-1]
+		if state[v] != stUndetermined {
+			continue // discarded by a cascade in the meantime
 		}
-		processQueue := func() {
-			for len(queue) > 0 {
-				v := int(queue[len(queue)-1])
-				queue = queue[:len(queue)-1]
-				if state[v] != stUndetermined {
-					continue // discarded by a cascade in the meantime
-				}
-				if !degreeOK(v) {
-					discard(v)
-					continue
-				}
-				for _, u32 := range t.idx.unionAdj[v] {
-					uu := int(u32)
-					if z.Contains(uu) && state[uu] == stUnexplored && t.idx.level[uu] >= lev {
-						state[uu] = stUndetermined
-						if t.idx.level[uu] == lev {
-							queue = append(queue, u32)
-						}
-					}
-				}
-			}
+		if !degreeOK(v) {
+			discard(v)
+			continue
 		}
-		processQueue()
-
-		// Phase B: remaining unexplored vertices are either seeds
-		// (L′ ⊆ L(v)) — which join the undetermined set and may revive
-		// same-level neighbours — or provably outside C^d_{L′} (Lemma 9).
-		for _, v32 := range levelMembers {
-			v := int(v32)
-			if state[v] != stUnexplored {
-				continue
-			}
-			if t.idx.lmask[v]&wantMask == wantMask {
-				state[v] = stUndetermined
-				queue = append(queue, v32)
-				processQueue()
-			} else {
-				discard(v)
+		for _, u32 := range t.idx.unionAdj[v] {
+			uu := int(u32)
+			if z.Contains(uu) && state[uu] == stUnexplored {
+				state[uu] = stUndetermined
+				queue = append(queue, u32)
 			}
 		}
 	}
 	t.scratchQueue = queue[:0]
+
+	// Vertices the flood never reached are provably outside C^d_{L′}
+	// (Lemma 9); discarding them drains their support from the survivors
+	// so the final degree feasibility counts marked vertices only.
+	for _, v32 := range members {
+		if state[v32] == stUnexplored {
+			discard(int(v32))
+		}
+	}
 
 	// The undetermined vertices are exactly C^d_{L′} (degree feasibility
 	// is enforced on every state transition and by the cascades).
@@ -258,50 +236,4 @@ func (t *tdSearch) refineC(u *bitset.Set, lpos []int) *bitset.Set {
 		state[v32] = stUnexplored // reset scratch for the next call
 	}
 	return out
-}
-
-// sortByLevel sorts vertices ascending by their index level (stable
-// enough for determinism: level ties keep ascending vertex id because the
-// input arrives in ascending id order and insertion sort is stable...
-// use a simple two-key comparison instead).
-func sortByLevel(vs []int32, level []int32) {
-	// Levels are small dense integers; counting sort would work, but the
-	// slices here are per-call and modest, so use sort.Slice semantics
-	// implemented inline to avoid the closure allocation in hot paths.
-	quickSortByLevel(vs, level)
-}
-
-func quickSortByLevel(vs []int32, level []int32) {
-	if len(vs) < 16 {
-		for i := 1; i < len(vs); i++ {
-			for j := i; j > 0 && less2(vs[j], vs[j-1], level); j-- {
-				vs[j], vs[j-1] = vs[j-1], vs[j]
-			}
-		}
-		return
-	}
-	pivot := vs[len(vs)/2]
-	left, right := 0, len(vs)-1
-	for left <= right {
-		for less2(vs[left], pivot, level) {
-			left++
-		}
-		for less2(pivot, vs[right], level) {
-			right--
-		}
-		if left <= right {
-			vs[left], vs[right] = vs[right], vs[left]
-			left++
-			right--
-		}
-	}
-	quickSortByLevel(vs[:right+1], level)
-	quickSortByLevel(vs[left:], level)
-}
-
-func less2(a, b int32, level []int32) bool {
-	if level[a] != level[b] {
-		return level[a] < level[b]
-	}
-	return a < b
 }

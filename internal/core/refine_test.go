@@ -56,14 +56,15 @@ func TestRemovePos(t *testing.T) {
 }
 
 // newTDSearchForTest builds a tdSearch over a preprocessed graph, exactly
-// as TopDownDCCS does, exposing refineU/refineC for direct testing.
+// as (*Prepared).TopDown does, exposing refineU/refineC for direct
+// testing.
 func newTDSearchForTest(g *multilayer.Graph, opts Options) *tdSearch {
 	p := preprocess(g, opts)
 	p.sortLayers(true)
 	t := &tdSearch{
 		prep:          p,
 		topk:          coverage.New(g.N(), opts.K),
-		idx:           buildIndex(g, opts.D, p.alive, 1),
+		idx:           p.idx,
 		rng:           p.rng,
 		state:         make([]uint8, g.N()),
 		scratchCounts: make([]int32, g.N()),
@@ -122,8 +123,38 @@ func TestRefineCExact(t *testing.T) {
 	}
 }
 
+// TestRefineCSeedThroughHigherLevel is the regression fixture for the
+// seed-flood strengthening: on this instance (found by quick.Check seed
+// 8649498021724360057) the members {1, 10} of C³_{layer 3} connect to
+// their component's only Lemma 9 seed exclusively through higher-level
+// vertices, so the paper's upward-only level walk discards them and the
+// cascade collapses the whole core to ∅. The level-free flood must
+// recover the exact core.
+func TestRefineCSeedThroughHigherLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(8649498021724360057))
+	g := testutil.RandomCorrelatedGraph(rng, 8+rng.Intn(20), 2+rng.Intn(4), 0.35, 0.85, 0.08)
+	d, s := 3, 1
+	ts := newTDSearchForTest(g, Options{D: d, S: s, K: 10, Seed: 1, NoInitResult: true})
+	p := ts.prep
+
+	pos3 := -1
+	for pos, orig := range p.order {
+		if orig == 3 {
+			pos3 = pos
+		}
+	}
+	truth := kcore.DCC(g, p.alive, []int{3}, d)
+	if truth.Count() != 7 {
+		t.Fatalf("fixture drifted: |C³_{3}| = %d, want 7", truth.Count())
+	}
+	got := ts.refineC(p.alive, []int{pos3})
+	if !got.Equal(truth) {
+		t.Fatalf("refineC = %v, want %v", got.Slice(), truth.Slice())
+	}
+}
+
 // TestRefineCMatchesDCCRefine checks the two refinement paths (index
-// level-search vs plain dCC on the Lemma 8 scope) agree.
+// seed-flood vs plain dCC on the Lemma 8 scope) agree.
 func TestRefineCMatchesDCCRefine(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -239,7 +270,7 @@ func TestIndexLemma8(t *testing.T) {
 		g := testutil.RandomCorrelatedGraph(rng, 8+rng.Intn(25), 2+rng.Intn(4), 0.3, 0.85, 0.08)
 		d := 1 + rng.Intn(3)
 		alive := bitset.NewFull(g.N())
-		idx := buildIndex(g, d, alive, 1)
+		idx := NewPrepared(g, 1).hierarchyFor(d).idx
 
 		// The index partitions all vertices.
 		seen := bitset.New(g.N())

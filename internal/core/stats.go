@@ -17,6 +17,7 @@ type runStats struct {
 	updates           atomic.Int64
 	pruned            atomic.Int64
 	truncated         atomic.Bool
+	interrupted       atomic.Bool
 }
 
 // addTreeNode counts one expanded search-tree node and reports whether
@@ -45,5 +46,6 @@ func (r *runStats) snapshot() Stats {
 		Updates:           int(r.updates.Load()),
 		Pruned:            int(r.pruned.Load()),
 		Truncated:         r.truncated.Load(),
+		Interrupted:       r.interrupted.Load(),
 	}
 }

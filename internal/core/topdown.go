@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -13,26 +14,39 @@ import (
 	"repro/internal/pool"
 )
 
-// TopDownDCCS implements the TD-DCCS algorithm (Figs 8 and 11): the
-// layer-subset tree is searched from the full layer set [l] down to level
-// s. Each node carries both its d-CC C^d_L and a potential vertex set
-// U^d_L that over-approximates every size-s descendant; children are
-// produced by RefineU (shrinking U) and RefineC (recovering the exact
-// d-CC over the removal-hierarchy index), and subtrees are pruned with
-// Lemmas 5–7. Approximation ratio 1/4 (Theorem 4). It is the preferred
+// TopDownDCCS implements the TD-DCCS algorithm (Figs 8 and 11) through a
+// throwaway Prepared handle. Long-lived callers should hold a Prepared
+// (or the public dccs.Engine) and use its TopDown method, which
+// amortizes preprocessing and index construction across queries.
+func TopDownDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
+	return NewPrepared(g, opts.MaterializeWorkers()).TopDown(context.Background(), opts)
+}
+
+// TopDown runs the TD-DCCS algorithm (Figs 8 and 11): the layer-subset
+// tree is searched from the full layer set [l] down to level s. Each
+// node carries both its d-CC C^d_L and a potential vertex set U^d_L that
+// over-approximates every size-s descendant; children are produced by
+// RefineU (shrinking U) and RefineC (recovering the exact d-CC over the
+// cached removal-hierarchy index), and subtrees are pruned with Lemmas
+// 5–7. Approximation ratio 1/4 (Theorem 4). It is the preferred
 // algorithm when s ≥ l(G)/2.
 //
 // The implementation supports l(G) ≤ 64 (layer sets are bitmasks); the
 // paper's largest dataset has 24 layers.
-func TopDownDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
-	if err := opts.Validate(g); err != nil {
+//
+// Cancelling ctx (or exceeding its deadline) stops the search at the
+// next tree-node expansion and returns the valid partial result with
+// Stats.Truncated and Stats.Interrupted set.
+func (pr *Prepared) TopDown(ctx context.Context, opts Options) (*Result, error) {
+	if err := opts.Validate(pr.g); err != nil {
 		return nil, err
 	}
+	g := pr.g
 	if g.L() > 64 {
 		return nil, fmt.Errorf("dccs: top-down algorithm supports at most 64 layers, got %d", g.L())
 	}
 	start := time.Now()
-	p := preprocess(g, opts)
+	p := pr.newPrep(ctx, opts)
 	topk := coverage.New(g.N(), opts.K)
 	p.initTopK(topk)
 	p.sortLayers(true) // ascending |C^d(G_i)| (§V-D)
@@ -40,7 +54,7 @@ func TopDownDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
 	t := &tdSearch{
 		prep:          p,
 		topk:          topk,
-		idx:           buildIndex(g, opts.D, p.alive, opts.materializeWorkers()),
+		idx:           p.idx,
 		rng:           p.rng,
 		state:         make([]uint8, g.N()),
 		scratchCounts: make([]int32, g.N()),
@@ -60,8 +74,10 @@ func TopDownDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
 	p.stats.treeNodes.Add(1)
 	if opts.S == g.L() {
 		p.stats.candidates.Add(1)
-		if topk.Update(rootC.Slice32(), p.layersOf(full)) {
+		vs, layers := rootC.Slice32(), p.layersOf(full)
+		if topk.Update(vs, layers) {
 			p.stats.updates.Add(1)
+			p.notify(vs, layers)
 		}
 	} else if w := opts.searchWorkers(); w > 1 {
 		topk = t.genParallel(w, full, rootC)
@@ -70,6 +86,7 @@ func TopDownDCCS(g *multilayer.Graph, opts Options) (*Result, error) {
 	}
 
 	res := p.finish(topk)
+	res.Stats.Algorithm = AlgoNameTD
 	res.Stats.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -120,7 +137,7 @@ func (t *tdSearch) workerScratch() *tdSearch {
 func (t *tdSearch) genParallel(workers int, L []int, cL *bitset.Set) *coverage.TopK {
 	p := t.prep
 	l, s := p.g.L(), p.opts.S
-	if !p.stats.addTreeNode(p.opts.MaxTreeNodes) {
+	if !p.admitNode() {
 		return t.topk
 	}
 	lr := removablePos(L, l)
@@ -151,8 +168,10 @@ func (t *tdSearch) genParallel(workers int, L []int, cL *bitset.Set) *coverage.T
 		case len(lchild) == s:
 			cc := sub.refineC(childU, lchild)
 			p.stats.candidates.Add(1)
-			if sub.topk.Update(cc.Slice32(), p.layersOf(lchild)) {
+			vs, layers := cc.Slice32(), p.layersOf(lchild)
+			if sub.topk.Update(vs, layers) {
 				p.stats.updates.Add(1)
+				p.notify(vs, layers)
 			}
 		case childU.Empty() && !p.opts.NoEq1Pruning:
 			p.stats.pruned.Add(1) // empty-subtree cut (see gen)
@@ -179,7 +198,7 @@ func (t *tdSearch) gen(L []int, cL, uL *bitset.Set) {
 	p := t.prep
 	l := p.g.L()
 	s := p.opts.S
-	if !p.stats.addTreeNode(p.opts.MaxTreeNodes) {
+	if !p.admitNode() {
 		return
 	}
 
@@ -203,8 +222,10 @@ func (t *tdSearch) gen(L []int, cL, uL *bitset.Set) {
 			if len(lchild) == s {
 				cc := t.refineC(childU[j], lchild)
 				p.stats.candidates.Add(1)
-				if t.topk.Update(cc.Slice32(), p.layersOf(lchild)) {
+				vs, layers := cc.Slice32(), p.layersOf(lchild)
+				if t.topk.Update(vs, layers) {
 					p.stats.updates.Add(1)
+					p.notify(vs, layers)
 				}
 			} else if childU[j].Empty() && !p.opts.NoEq1Pruning {
 				// Empty-subtree cut: U over-approximates every size-s
@@ -237,8 +258,10 @@ func (t *tdSearch) gen(L []int, cL, uL *bitset.Set) {
 		if len(lchild) == s {
 			cc := t.refineC(childU[j], lchild)
 			p.stats.candidates.Add(1)
-			if t.topk.Update(cc.Slice32(), p.layersOf(lchild)) {
+			vs, layers := cc.Slice32(), p.layersOf(lchild)
+			if t.topk.Update(vs, layers) {
 				p.stats.updates.Add(1)
+				p.notify(vs, layers)
 			}
 			continue
 		}
@@ -263,8 +286,10 @@ func (t *tdSearch) gen(L []int, cL, uL *bitset.Set) {
 				p.stats.dccCalls.Add(1)
 				csub := kcore.DCC(p.g, childU[j], p.layersOf(sub), p.opts.D)
 				p.stats.candidates.Add(1)
-				if t.topk.Update(csub.Slice32(), p.layersOf(sub)) {
+				vs, layers := csub.Slice32(), p.layersOf(sub)
+				if t.topk.Update(vs, layers) {
 					p.stats.updates.Add(1)
+					p.notify(vs, layers)
 				}
 				p.stats.pruned.Add(1)
 				continue

@@ -28,6 +28,14 @@ type Tracker struct {
 	// vertex passed to RemoveVertex itself). The top-down index builder
 	// uses it to keep a bucket queue of support counts.
 	NumListener func(v int)
+
+	// CoreListener, when non-nil, is invoked with every (layer, vertex)
+	// pair whose core membership is lost to a peeling cascade (again not
+	// for the vertex passed to RemoveVertex itself, whose memberships the
+	// caller can read before removing it). The removal-hierarchy builder
+	// uses it to record, per layer, the threshold at which each vertex
+	// drops out of that layer's d-core.
+	CoreListener func(layer, v int)
 }
 
 // NewTracker computes the initial per-layer d-cores of g restricted to
@@ -62,15 +70,49 @@ func NewTrackerN(g *multilayer.Graph, d int, alive *bitset.Set, workers int) *Tr
 			return true
 		})
 	})
-	// Support counts aggregate across layers, so they are summed after
-	// the per-layer barrier rather than raced inside it.
-	for i := 0; i < g.L(); i++ {
+	t.sumNum()
+	return t
+}
+
+// NewTrackerFromCoreness builds a full-graph tracker from precomputed
+// per-layer coreness arrays (see Coreness): the initial d-core of layer i
+// is the level set {v : coreness[i][v] ≥ d}, so the per-layer peel of
+// NewTracker is replaced by a linear scan plus the degree-in-core pass.
+// The coreness arrays are graph-lifetime, d-independent artifacts; the
+// prepared-engine path computes them once and seeds every per-d tracker
+// from them. The resulting tracker is identical to NewTrackerN(g, d, nil,
+// workers).
+func NewTrackerFromCoreness(g *multilayer.Graph, d int, coreness [][]int, workers int) *Tracker {
+	n := g.N()
+	t := &Tracker{
+		g:     g,
+		d:     d,
+		alive: bitset.NewFull(n),
+		cores: make([]*bitset.Set, g.L()),
+		deg:   make([][]int32, g.L()),
+		num:   make([]int32, n),
+	}
+	pool.Run(workers, g.L(), func(i int) {
+		t.cores[i] = CoreFromCoreness(coreness[i], d)
+		t.deg[i] = make([]int32, n)
+		t.cores[i].ForEach(func(v int) bool {
+			t.deg[i][v] = int32(g.DegreeIn(i, v, t.cores[i]))
+			return true
+		})
+	})
+	t.sumNum()
+	return t
+}
+
+// sumNum aggregates the support counts across layers, after the
+// per-layer construction barrier rather than raced inside it.
+func (t *Tracker) sumNum() {
+	for i := 0; i < t.g.L(); i++ {
 		t.cores[i].ForEach(func(v int) bool {
 			t.num[v]++
 			return true
 		})
 	}
-	return t
 }
 
 // Alive returns the set of vertices still in the graph. The returned set
@@ -136,6 +178,9 @@ func (t *Tracker) removeFromCore(layer, v int) {
 				t.num[u]--
 				if t.NumListener != nil {
 					t.NumListener(u)
+				}
+				if t.CoreListener != nil {
+					t.CoreListener(layer, u)
 				}
 				queue = append(queue, u32)
 			}
