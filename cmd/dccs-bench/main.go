@@ -11,6 +11,8 @@
 //	dccs-bench -parallel           # serial vs parallel engine speedup table
 //	dccs-bench -engine -out ./out  # cold vs Engine-amortized query latency
 //	                               # (writes BENCH_engine.json)
+//	dccs-bench -format -out ./out  # text parse vs .mlgb binary load vs
+//	                               # engine snapshot (writes BENCH_format.json)
 package main
 
 import (
@@ -30,11 +32,14 @@ func main() {
 	out := flag.String("out", "", "directory for artifact files (empty = no artifacts)")
 	parallel := flag.Bool("parallel", false, "run the serial-vs-parallel engine comparison instead of a figure")
 	engine := flag.Bool("engine", false, "run the cold-vs-amortized prepared-engine comparison instead of a figure")
+	format := flag.Bool("format", false, "run the text-vs-binary-vs-snapshot storage comparison instead of a figure")
 	flag.Parse()
 
 	s := &bench.Suite{Scale: *scale, Seed: *seed, Quick: *quick, OutDir: *out, W: os.Stdout}
 	var err error
-	if *engine {
+	if *format {
+		err = s.RunFormat()
+	} else if *engine {
 		err = s.RunEngine()
 	} else if *parallel {
 		err = s.RunParallel()

@@ -3,6 +3,9 @@
 // and of size s, and the reported cover size must match. Results are the
 // JSON produced by `dccs -json`.
 //
+// The graph may be in the text edge-list format or the .mlgb binary
+// format; the magic bytes are sniffed, as in the dccs command.
+//
 // Usage:
 //
 //	dccs -algo bu -d 4 -s 3 -k 10 -json graph.mlg > result.json
@@ -24,7 +27,7 @@ func main() {
 	k := flag.Int("k", 10, "result count k")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: dccs-verify [flags] <graph.mlg> <result.json>")
+		fmt.Fprintln(os.Stderr, "usage: dccs-verify [flags] <graph.mlg|graph.mlgb> <result.json>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

@@ -1,19 +1,31 @@
 // Command dccs runs diversified coherent core search on a multi-layer
-// graph stored in the text edge-list format:
+// graph stored either in the text edge-list format:
 //
 //	mlg <n> <layers>
 //	<layer> <u> <v>
 //	...
 //
+// or in the .mlgb binary CSR format (mlgen -format binary); the format
+// is sniffed from the file's magic bytes, so both kinds of path are
+// interchangeable.
+//
 // Usage:
 //
 //	dccs -d 4 -s 3 -k 10 graph.mlg             # auto algorithm selection
-//	dccs -algo greedy -d 4 -s 3 -k 10 graph.mlg
+//	dccs -algo greedy -d 4 -s 3 -k 10 graph.mlgb
 //	dccs -algo bu -stats graph.mlg             # print search statistics
 //	dccs -algo td -json graph.mlg              # machine-readable output
 //	dccs -workers 8 graph.mlg                  # parallel search engine
 //	dccs -timeout 2s graph.mlg                 # deadline-bounded search
 //	dccs -max-nodes 10000 graph.mlg            # node-budgeted search
+//	dccs -snapshot graph.mlgs graph.mlgb       # reuse engine artifacts
+//
+// With -snapshot, previously saved engine artifacts (per-layer coreness
+// and per-d removal hierarchies) are restored before the query — the
+// first query of this process runs warm — and the file is refreshed
+// with whatever artifacts exist after the query. A missing snapshot
+// file is not an error (the first run creates it); a stale one (written
+// for a different graph) is reported and ignored.
 //
 // The search runs through a dccs.Engine, so it is cancellable: a timeout
 // or an interrupt (Ctrl-C) stops the search at the next tree-node
@@ -45,10 +57,11 @@ func main() {
 	maxNodes := flag.Int("max-nodes", 0, "search-tree node budget (0 = unlimited); anytime search when positive")
 	stats := flag.Bool("stats", false, "print search statistics")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	snapshot := flag.String("snapshot", "", "engine snapshot file: restored before the query when present, refreshed after")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dccs [flags] <graph.mlg>")
+		fmt.Fprintln(os.Stderr, "usage: dccs [flags] <graph.mlg|graph.mlgb>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -59,6 +72,12 @@ func main() {
 	eng, err := dccs.NewEngine(g, dccs.EngineConfig{Workers: *workers})
 	if err != nil {
 		fail(err)
+	}
+	if *snapshot != "" {
+		if err := eng.LoadSnapshot(*snapshot); err != nil && !errors.Is(err, os.ErrNotExist) {
+			// A bad snapshot must not block serving: report and run cold.
+			fmt.Fprintf(os.Stderr, "dccs: ignoring snapshot: %v\n", err)
+		}
 	}
 
 	// An interrupt or an expired -timeout cancels the query context; the
@@ -86,6 +105,13 @@ func main() {
 	})
 	if err != nil {
 		fail(err)
+	}
+	if *snapshot != "" {
+		// Refresh the snapshot with whatever artifacts this query built
+		// (plus any it inherited), so the next process starts warm.
+		if err := eng.SaveSnapshot(*snapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "dccs: saving snapshot: %v\n", err)
+		}
 	}
 
 	if *asJSON {

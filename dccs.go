@@ -101,10 +101,15 @@ func NewBuilder(n, layers int) *Builder { return multilayer.NewBuilder(n, layers
 //	mlg <n> <layers>
 //	<layer> <u> <v>
 //	...
-func ReadGraph(r io.Reader) (*Graph, error) { return multilayer.Read(r) }
+func ReadGraph(r io.Reader) (*Graph, error) { return multilayer.Decode(r) }
 
-// ReadGraphFile loads a graph from a file in the text edge-list format.
-func ReadGraphFile(path string) (*Graph, error) { return multilayer.ReadFile(path) }
+// ReadGraphFile loads a graph from a file in either supported format,
+// sniffing the magic bytes: .mlgb binary images (Graph.WriteBinaryFile)
+// load by slurping the CSR sections directly — no per-edge parsing —
+// and anything else parses as the text edge-list format. Binary loading
+// is the serving-path choice: see BENCH_format.json for the measured
+// gap.
+func ReadGraphFile(path string) (*Graph, error) { return multilayer.OpenFile(path) }
 
 // Greedy runs the GD-DCCS algorithm (approximation ratio 1 − 1/e) as a
 // one-shot call: all preprocessing is recomputed per invocation.

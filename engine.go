@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -154,6 +156,64 @@ func (e *Engine) Warm(ds ...int) error {
 	}
 	for _, d := range ds {
 		e.pr.Prepare(d)
+	}
+	return nil
+}
+
+// SaveSnapshot persists the engine's cached artifacts — the per-layer
+// coreness and every fully built per-d removal hierarchy — to path in
+// the versioned .mlgs binary format, so a future process can skip their
+// construction entirely (see LoadSnapshot). The write is atomic
+// (temp file + rename): a crash mid-save never leaves a truncated
+// snapshot behind. Snapshotting a live engine is safe; hierarchies still
+// being built are skipped, not awaited. The graph itself is not part of
+// the snapshot — persist it separately (Graph.WriteBinaryFile) and the
+// embedded fingerprint ties the two files together.
+func (e *Engine) SaveSnapshot(path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".mlgs-tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := e.pr.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	// CreateTemp's 0600 would stick to the renamed file; match the
+	// conventional create mode so another user's server can load what a
+	// deploy job saved.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
+// LoadSnapshot restores artifacts saved by SaveSnapshot into this
+// engine, making the first query per snapshotted degree threshold as
+// fast as a repeat query — a restarted server answers warm from its
+// first request. The snapshot must have been saved for a graph equal to
+// this engine's; a snapshot of any other graph (or a corrupt file) is
+// rejected with an error and the engine is left unchanged, free to
+// build its artifacts from scratch as usual. Restored artifacts do not
+// count as builds in Metrics. Loading over artifacts the engine already
+// built keeps the built ones (the two are identical by determinism).
+func (e *Engine) LoadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := e.pr.RestoreSnapshot(data); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	return nil
 }

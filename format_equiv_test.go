@@ -1,0 +1,165 @@
+package dccs
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestFormatAndSnapshotEquivalence is the ISSUE 3 acceptance test: the
+// same graph stored as text, stored as binary, and served by a
+// snapshot-restored engine must answer every query with byte-identical
+// results and Stats (Elapsed excluded — it is the wall clock). It also
+// pins the warmth claim: the restored engine serves every snapshotted d
+// with zero artifact builds.
+func TestFormatAndSnapshotEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := testutil.RandomCorrelatedGraph(rng, 80, 6, 0.2, 0.85, 0.05)
+
+	dir := t.TempDir()
+	textPath := filepath.Join(dir, "g.mlg")
+	binPath := filepath.Join(dir, "g.mlgb")
+	snapPath := filepath.Join(dir, "g.mlgs")
+	if err := g.WriteFile(textPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteBinaryFile(binPath); err != nil {
+		t.Fatal(err)
+	}
+
+	fromText, err := ReadGraphFile(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadGraphFile(binPath) // sniffed as binary
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromText.Equal(g) || !fromBin.Equal(g) {
+		t.Fatal("serialization changed the graph")
+	}
+	if fromText.Stats() != fromBin.Stats() || fromText.Stats() != g.Stats() {
+		t.Fatalf("graph Stats differ: %v vs %v vs %v", g.Stats(), fromText.Stats(), fromBin.Stats())
+	}
+
+	queries := []Query{
+		{D: 2, S: 2, K: 5, Seed: 3, Algorithm: AlgoBottomUp},
+		{D: 2, S: 4, K: 5, Seed: 3, Algorithm: AlgoTopDown},
+		{D: 3, S: 3, K: 4, Seed: 9, Algorithm: AlgoGreedy},
+		{D: 3, S: 3, K: 4, Seed: 9}, // auto
+	}
+
+	run := func(eng *Engine) []*Result {
+		t.Helper()
+		var out []*Result
+		for _, q := range queries {
+			res, err := eng.Search(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+
+	// Engine over the text-loaded graph builds the artifacts and
+	// snapshots them.
+	engText, err := NewEngine(fromText, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes := run(engText)
+	if err := engText.SaveSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Engine over the binary-loaded graph, cold.
+	engBin, err := NewEngine(fromBin, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binRes := run(engBin)
+
+	// Engine over the binary-loaded graph, restored from the snapshot
+	// the text engine saved: graph bytes and artifact bytes both came
+	// from disk, yet nothing may differ.
+	engSnap, err := NewEngine(fromBin, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engSnap.LoadSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	snapRes := run(engSnap)
+	if m := engSnap.Metrics(); m.CorenessBuilds != 0 || m.HierarchyBuilds != 0 {
+		t.Fatalf("snapshot-restored engine built artifacts: %+v", m)
+	}
+
+	for i := range queries {
+		for name, got := range map[string]*Result{"binary-loaded": binRes[i], "snapshot-restored": snapRes[i]} {
+			ws, gs := wantRes[i].Stats, got.Stats
+			ws.Elapsed, gs.Elapsed = 0, 0
+			if !reflect.DeepEqual(ws, gs) {
+				t.Errorf("query %d: %s engine stats differ:\nwant %+v\ngot  %+v", i, name, ws, gs)
+			}
+			if got.CoverSize != wantRes[i].CoverSize || !reflect.DeepEqual(got.Cores, wantRes[i].Cores) {
+				t.Errorf("query %d: %s engine results differ", i, name)
+			}
+		}
+	}
+}
+
+// TestEngineSnapshotLifecycle exercises the serving lifecycle at the
+// public API: save on a live engine, restore in a "restarted" one, and
+// reject a snapshot saved for a different graph without breaking the
+// engine.
+func TestEngineSnapshotLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := testutil.RandomCorrelatedGraph(rng, 50, 5, 0.25, 0.85, 0.05)
+	other := testutil.RandomCorrelatedGraph(rng, 50, 5, 0.25, 0.85, 0.05)
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "engine.mlgs")
+
+	eng, err := NewEngine(g, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Warm(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+
+	restarted, err := NewEngine(g, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restarted.LoadSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restarted.Search(context.Background(), Query{D: 2, S: 2, K: 3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restarted.Search(context.Background(), Query{D: 3, S: 2, K: 3, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m := restarted.Metrics(); m.CorenessBuilds != 0 || m.HierarchyBuilds != 0 || m.Queries != 2 {
+		t.Fatalf("restarted engine not warm: %+v", m)
+	}
+
+	mismatched, err := NewEngine(other, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mismatched.LoadSnapshot(snapPath); err == nil {
+		t.Fatal("snapshot restored against the wrong graph")
+	}
+	if _, err := mismatched.Search(context.Background(), Query{D: 2, S: 2, K: 3, Seed: 1}); err != nil {
+		t.Fatalf("engine broken after rejected snapshot: %v", err)
+	}
+}

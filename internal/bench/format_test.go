@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFormatSmoke runs the storage-format comparison end to end at
+// quick scale and checks the table, the JSON artifact, and the
+// invariants the artifact records: equal graphs across formats (the
+// comparison errors internally otherwise), timings present, and a
+// restored engine that rebuilt nothing.
+func TestRunFormatSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes and loads dataset-sized artifacts")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	s := &Suite{W: &buf, Quick: true, Scale: 0.02, Seed: 1, OutDir: dir}
+	if err := s.RunFormat(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Storage formats", "binary load", "snapshot restore"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+
+	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_format.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report formatBenchReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.TextParseSecs <= 0 || report.BinLoadSecs <= 0 || report.LoadSpeedup <= 0 {
+		t.Errorf("load timings not recorded: %+v", report)
+	}
+	if report.TextBytes <= 0 || report.BinaryBytes <= 0 || report.SnapshotBytes <= 0 {
+		t.Errorf("artifact sizes not recorded: %+v", report)
+	}
+	if report.RestoredRebuiltCount != 0 {
+		t.Errorf("restored engine rebuilt %d artifacts", report.RestoredRebuiltCount)
+	}
+	if report.ColdPrepareSecs <= 0 || report.RestoreSecs <= 0 {
+		t.Errorf("prepare timings not recorded: %+v", report)
+	}
+	// The scratch graph files must be loadable afterwards — they double
+	// as a CLI-reachable artifact of the bench run.
+	for _, name := range []string{"format-bench.mlg", "format-bench.mlgb"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("scratch artifact missing: %v", err)
+		}
+	}
+}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/bitset"
 	"repro/internal/coverage"
@@ -45,8 +45,8 @@ func mergeTopK(n, k int, groups ...[]*coverage.Entry) *coverage.TopK {
 			}
 		}
 	}
-	sort.Slice(entries, func(a, b int) bool {
-		return lessIntSlices(entries[a].Layers, entries[b].Layers)
+	slices.SortFunc(entries, func(a, b *coverage.Entry) int {
+		return slices.Compare(a.Layers, b.Layers)
 	})
 
 	merged := coverage.New(n, k)

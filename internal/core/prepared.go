@@ -46,10 +46,13 @@ type Prepared struct {
 
 // dArtifact is the lazily built per-d cache slot. The once gate makes
 // concurrent first queries for the same d build the hierarchy exactly
-// once while distinct d values build independently.
+// once while distinct d values build independently. done flips after the
+// build completes, letting the snapshot writer enumerate finished
+// entries without blocking on (or triggering) in-flight builds.
 type dArtifact struct {
 	once sync.Once
 	hier *hierarchy
+	done atomic.Bool
 }
 
 // PreparedCounters reports how often each artifact tier was actually
@@ -150,6 +153,7 @@ func (pr *Prepared) hierarchyFor(d int) *hierarchy {
 	a.once.Do(func() {
 		a.hier = buildHierarchy(pr.g, d, coreness, unionAdj, pr.workers)
 		pr.hierarchyBuilds.Add(1)
+		a.done.Store(true)
 	})
 	return a.hier
 }

@@ -1,10 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/bitset"
 	"repro/internal/coverage"
@@ -78,15 +79,15 @@ func (p *prep) sortLayers(ascending bool) {
 	if p.opts.NoSortLayers {
 		return
 	}
-	sort.SliceStable(p.order, func(a, b int) bool {
-		ca, cb := p.cores[p.order[a]].Count(), p.cores[p.order[b]].Count()
+	slices.SortStableFunc(p.order, func(a, b int) int {
+		ca, cb := p.cores[a].Count(), p.cores[b].Count()
 		if ca != cb {
 			if ascending {
-				return ca < cb
+				return cmp.Compare(ca, cb)
 			}
-			return ca > cb
+			return cmp.Compare(cb, ca)
 		}
-		return p.order[a] < p.order[b]
+		return cmp.Compare(a, b)
 	})
 }
 
@@ -96,7 +97,7 @@ func (p *prep) layersOf(positions []int) []int {
 	for i, pos := range positions {
 		out[i] = p.order[pos]
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -141,7 +142,7 @@ func (p *prep) initTopK(topk *coverage.TopK) {
 			L = append(L, bestJ)
 			C.And(p.cores[bestJ])
 		}
-		sort.Ints(L)
+		slices.Sort(L)
 		cc := kcore.DCC(g, C, L, d)
 		p.stats.dccCalls.Add(1)
 		if vs := cc.Slice32(); topk.Update(vs, L) {
@@ -176,8 +177,8 @@ func (p *prep) finish(topk *coverage.TopK) *Result {
 		seen[key] = true
 		res.Cores = append(res.Cores, CC{Layers: e.Layers, Vertices: e.Vertices})
 	}
-	sort.Slice(res.Cores, func(a, b int) bool {
-		return lessIntSlices(res.Cores[a].Layers, res.Cores[b].Layers)
+	slices.SortFunc(res.Cores, func(a, b CC) int {
+		return slices.Compare(a.Layers, b.Layers)
 	})
 	return res
 }

@@ -1,10 +1,11 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/bitset"
@@ -242,8 +243,8 @@ func (t *tdSearch) gen(L []int, cL, uL *bitset.Set) {
 
 	sorted := append([]int(nil), lr...)
 	if !p.opts.NoOrderPruning {
-		sort.SliceStable(sorted, func(a, b int) bool {
-			return childU[sorted[a]].Count() > childU[sorted[b]].Count()
+		slices.SortStableFunc(sorted, func(a, b int) int {
+			return cmp.Compare(childU[b].Count(), childU[a].Count())
 		})
 	}
 	for rank, j := range sorted {

@@ -28,6 +28,12 @@ func CoherentCoreness(g *multilayer.Graph, layers []int, alive *bitset.Set) []in
 		return out
 	}
 
+	// Hot loop: iterate each listed layer's flat CSR arrays directly.
+	offs := make([][]int64, len(layers))
+	nbrs := make([][]int32, len(layers))
+	for idx, layer := range layers {
+		offs[idx], nbrs[idx] = g.LayerCSR(layer)
+	}
 	// m(v) = min over L of the degree within the remaining vertices.
 	deg := make([][]int32, len(layers))
 	for idx, layer := range layers {
@@ -86,8 +92,8 @@ func CoherentCoreness(g *multilayer.Graph, layers []int, alive *bitset.Set) []in
 		}
 		out[v] = int(cur)
 		remaining.Remove(v)
-		for idx, layer := range layers {
-			for _, u32 := range g.Neighbors(layer, int(v)) {
+		for idx := range layers {
+			for _, u32 := range nbrs[idx][offs[idx][v]:offs[idx][v+1]] {
 				u := int(u32)
 				if !remaining.Contains(u) {
 					continue

@@ -22,6 +22,12 @@ func DCCBin(g *multilayer.Graph, S *bitset.Set, layers []int, d int) *bitset.Set
 		return S.Clone()
 	}
 
+	// Hot loop: iterate each listed layer's flat CSR arrays directly.
+	offs := make([][]int64, len(layers))
+	nbrs := make([][]int32, len(layers))
+	for idx, layer := range layers {
+		offs[idx], nbrs[idx] = g.LayerCSR(layer)
+	}
 	// deg[idx][v] = degree of v within S on layers[idx];
 	// m[v] = min over idx.
 	deg := make([][]int32, len(layers))
@@ -33,9 +39,9 @@ func DCCBin(g *multilayer.Graph, S *bitset.Set, layers []int, d int) *bitset.Set
 	for _, v32 := range verts {
 		v := int(v32)
 		mv := int32(1<<31 - 1)
-		for idx, layer := range layers {
+		for idx := range layers {
 			dv := int32(0)
-			for _, u := range g.Neighbors(layer, v) {
+			for _, u := range nbrs[idx][offs[idx][v]:offs[idx][v+1]] {
 				if S.Contains(int(u)) {
 					dv++
 				}
@@ -82,8 +88,8 @@ func DCCBin(g *multilayer.Graph, S *bitset.Set, layers []int, d int) *bitset.Set
 			break // all remaining vertices satisfy the threshold
 		}
 		result.Remove(v)
-		for idx, layer := range layers {
-			for _, u32 := range g.Neighbors(layer, v) {
+		for idx := range layers {
+			for _, u32 := range nbrs[idx][offs[idx][v]:offs[idx][v+1]] {
 				u := int(u32)
 				// Skip vertices outside S, already removed, or whose m
 				// does not exceed m(v): the latter will be peeled anyway

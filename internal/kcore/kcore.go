@@ -39,6 +39,12 @@ func DCC(g *multilayer.Graph, S *bitset.Set, layers []int, d int) *bitset.Set {
 		return cur
 	}
 	n := g.N()
+	// Hot loop: iterate each listed layer's flat CSR arrays directly.
+	offs := make([][]int64, len(layers))
+	nbrs := make([][]int32, len(layers))
+	for idx, layer := range layers {
+		offs[idx], nbrs[idx] = g.LayerCSR(layer)
+	}
 	// deg[idx][v] = degree of v within cur on layers[idx].
 	deg := make([][]int32, len(layers))
 	for idx := range layers {
@@ -48,9 +54,9 @@ func DCC(g *multilayer.Graph, S *bitset.Set, layers []int, d int) *bitset.Set {
 	dead := bitset.New(n)
 
 	cur.ForEach(func(v int) bool {
-		for idx, layer := range layers {
+		for idx := range layers {
 			dv := int32(0)
-			for _, u := range g.Neighbors(layer, v) {
+			for _, u := range nbrs[idx][offs[idx][v]:offs[idx][v+1]] {
 				if cur.Contains(int(u)) {
 					dv++
 				}
@@ -68,8 +74,8 @@ func DCC(g *multilayer.Graph, S *bitset.Set, layers []int, d int) *bitset.Set {
 		v := int(queue[len(queue)-1])
 		queue = queue[:len(queue)-1]
 		cur.Remove(v)
-		for idx, layer := range layers {
-			for _, u := range g.Neighbors(layer, v) {
+		for idx := range layers {
+			for _, u := range nbrs[idx][offs[idx][v]:offs[idx][v+1]] {
 				uu := int(u)
 				if !cur.Contains(uu) || dead.Contains(uu) {
 					continue
@@ -95,6 +101,7 @@ func Coreness(g *multilayer.Graph, layer int, alive *bitset.Set) []int {
 	if alive == nil {
 		alive = bitset.NewFull(n)
 	}
+	offs, nbrs := g.LayerCSR(layer) // hot loop: flat CSR iteration
 	coreness := make([]int, n)
 	for v := range coreness {
 		coreness[v] = -1
@@ -103,7 +110,7 @@ func Coreness(g *multilayer.Graph, layer int, alive *bitset.Set) []int {
 	maxDeg := 0
 	alive.ForEach(func(v int) bool {
 		dv := 0
-		for _, u := range g.Neighbors(layer, v) {
+		for _, u := range nbrs[offs[v]:offs[v+1]] {
 			if alive.Contains(int(u)) {
 				dv++
 			}
@@ -144,7 +151,7 @@ func Coreness(g *multilayer.Graph, layer int, alive *bitset.Set) []int {
 	for i := 0; i < nAlive; i++ {
 		v := int(vert[i])
 		coreness[v] = deg[v]
-		for _, u32 := range g.Neighbors(layer, v) {
+		for _, u32 := range nbrs[offs[v]:offs[v+1]] {
 			u := int(u32)
 			if !alive.Contains(u) || deg[u] <= deg[v] {
 				continue

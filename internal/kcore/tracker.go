@@ -163,11 +163,12 @@ func (t *Tracker) removeFromCore(layer, v int) {
 	core := t.cores[layer]
 	core.Remove(v)
 	t.num[v]--
+	offs, nbrs := t.g.LayerCSR(layer) // hot loop: flat CSR iteration
 	queue := []int32{int32(v)}
 	for len(queue) > 0 {
 		w := int(queue[len(queue)-1])
 		queue = queue[:len(queue)-1]
-		for _, u32 := range t.g.Neighbors(layer, w) {
+		for _, u32 := range nbrs[offs[w]:offs[w+1]] {
 			u := int(u32)
 			if !core.Contains(u) {
 				continue

@@ -3,54 +3,87 @@
 // simple graph over V. The DCCS algorithms never materialize induced
 // subgraphs; they traverse the full adjacency under bitset membership
 // masks, so Graph is immutable after Build and safe for concurrent readers.
+//
+// Each layer is stored in CSR (compressed sparse row) form: one flat
+// offsets array and one flat neighbor array, with vertex v's sorted
+// adjacency at neighbors[offsets[v]:offsets[v+1]]. Compared to the
+// earlier per-vertex slice-of-slices layout this removes 24 bytes of
+// slice header per vertex per layer and one pointer indirection from
+// Neighbors — the hot loop of every algorithm — and it makes the
+// on-disk binary format (io_binary.go) a straight dump of the backing
+// arrays.
 package multilayer
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/bitset"
 )
 
+// csrLayer is one layer's adjacency in CSR form. offsets has length n+1
+// with offsets[0] == 0; neighbors holds each undirected edge twice, the
+// per-vertex ranges sorted ascending with no duplicates or self-loops.
+type csrLayer struct {
+	offsets   []int64
+	neighbors []int32
+}
+
 // Graph is an immutable multi-layer graph (V, E1, …, El). Vertices are the
 // integers 0..N()-1 on every layer; a vertex absent from some layer is
 // simply isolated there, matching the paper's convention.
 type Graph struct {
-	n   int
-	adj [][][]int32 // adj[layer][v] = sorted neighbor list
-	m   []int       // per-layer undirected edge count
+	n      int
+	layers []csrLayer
 }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
 // L returns the number of layers.
-func (g *Graph) L() int { return len(g.adj) }
+func (g *Graph) L() int { return len(g.layers) }
 
 // M returns the number of undirected edges on the given layer.
-func (g *Graph) M(layer int) int { return g.m[layer] }
+func (g *Graph) M(layer int) int { return len(g.layers[layer].neighbors) / 2 }
 
 // MTotal returns Σ_i |E_i|, the total edge count across layers (edges
 // present on several layers are counted once per layer), as reported in
 // the second column of the paper's Fig 12.
 func (g *Graph) MTotal() int {
 	t := 0
-	for _, mi := range g.m {
-		t += mi
+	for i := range g.layers {
+		t += g.M(i)
 	}
 	return t
 }
 
 // Neighbors returns the sorted adjacency list of v on the given layer.
 // The returned slice is owned by the graph and must not be modified.
-func (g *Graph) Neighbors(layer, v int) []int32 { return g.adj[layer][v] }
+func (g *Graph) Neighbors(layer, v int) []int32 {
+	la := &g.layers[layer]
+	return la.neighbors[la.offsets[v]:la.offsets[v+1]]
+}
+
+// LayerCSR exposes the raw CSR arrays of one layer: offsets of length
+// N()+1 and the flat neighbor array, with vertex v's sorted adjacency at
+// neighbors[offsets[v]:offsets[v+1]]. Both slices are owned by the graph
+// and must not be modified. Hot loops that sweep whole layers (the kcore
+// peels) iterate these directly; everything else goes through Neighbors.
+func (g *Graph) LayerCSR(layer int) (offsets []int64, neighbors []int32) {
+	la := &g.layers[layer]
+	return la.offsets, la.neighbors
+}
 
 // Degree returns the degree of v on the given layer.
-func (g *Graph) Degree(layer, v int) int { return len(g.adj[layer][v]) }
+func (g *Graph) Degree(layer, v int) int {
+	la := &g.layers[layer]
+	return int(la.offsets[v+1] - la.offsets[v])
+}
 
 // HasEdge reports whether {u, v} is an edge on the given layer.
 func (g *Graph) HasEdge(layer, u, v int) bool {
-	list := g.adj[layer][u]
+	list := g.Neighbors(layer, u)
 	i := sort.Search(len(list), func(i int) bool { return list[i] >= int32(v) })
 	return i < len(list) && list[i] == int32(v)
 }
@@ -59,7 +92,7 @@ func (g *Graph) HasEdge(layer, u, v int) bool {
 // induced by s on the given layer.
 func (g *Graph) DegreeIn(layer, v int, s *bitset.Set) int {
 	d := 0
-	for _, u := range g.adj[layer][v] {
+	for _, u := range g.Neighbors(layer, v) {
 		if s.Contains(int(u)) {
 			d++
 		}
@@ -74,7 +107,7 @@ func (g *Graph) UnionEdgeCount() int {
 	mark := make([]int, g.n) // mark[u] = v+1 when edge (v,u) already seen for current v
 	for v := 0; v < g.n; v++ {
 		for layer := 0; layer < g.L(); layer++ {
-			for _, u := range g.adj[layer][v] {
+			for _, u := range g.Neighbors(layer, v) {
 				if int(u) > v && mark[u] != v+1 {
 					mark[u] = v + 1
 					total++
@@ -90,9 +123,9 @@ func (g *Graph) UnionEdgeCount() int {
 func (g *Graph) UnionNeighbors(v int) []int32 {
 	var out []int32
 	for layer := 0; layer < g.L(); layer++ {
-		out = append(out, g.adj[layer][v]...)
+		out = append(out, g.Neighbors(layer, v)...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return dedupSorted(out)
 }
 
@@ -108,6 +141,61 @@ func dedupSorted(xs []int32) []int32 {
 		}
 	}
 	return xs[:w]
+}
+
+// Equal reports whether g and h are the same graph: same vertex count and
+// the same adjacency on every layer. Because both CSR arrays are
+// canonical (offsets determined by degrees, neighbor ranges sorted and
+// deduplicated), structural equality is array equality; this is what the
+// text↔binary round-trip tests assert.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.n != h.n || g.L() != h.L() {
+		return false
+	}
+	for i := range g.layers {
+		if !slices.Equal(g.layers[i].offsets, h.layers[i].offsets) ||
+			!slices.Equal(g.layers[i].neighbors, h.layers[i].neighbors) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns an FNV-1a hash over the graph's full CSR content
+// (dimensions, offsets and neighbor arrays of every layer). Engine
+// snapshots embed it so that artifacts computed for one graph are never
+// restored against another; two graphs compare Equal iff they hash the
+// same (modulo the usual 64-bit collision odds, which a corrupted or
+// mismatched snapshot file does not get to exploit meaningfully).
+func (g *Graph) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix64 := func(x uint64) {
+		for i := 0; i < 64; i += 8 {
+			h ^= uint64(byte(x >> i))
+			h *= prime
+		}
+	}
+	mix64(uint64(g.n))
+	mix64(uint64(g.L()))
+	for i := range g.layers {
+		la := &g.layers[i]
+		mix64(uint64(len(la.neighbors)))
+		for _, o := range la.offsets {
+			mix64(uint64(o))
+		}
+		for _, u := range la.neighbors {
+			h ^= uint64(byte(u))
+			h *= prime
+			h ^= uint64(byte(u >> 8))
+			h *= prime
+			h ^= uint64(byte(u >> 16))
+			h *= prime
+			h ^= uint64(byte(u >> 24))
+			h *= prime
+		}
+	}
+	return h
 }
 
 // Stats summarizes a multi-layer graph in the format of the paper's
@@ -175,44 +263,53 @@ func (b *Builder) MustAddEdge(layer, u, v int) {
 }
 
 // Build sorts, deduplicates and freezes the accumulated edges into a
-// Graph. The Builder may be reused afterwards; further AddEdge calls do
-// not affect the built Graph.
+// Graph in CSR form. The Builder may be reused afterwards; further
+// AddEdge calls do not affect the built Graph.
 func (b *Builder) Build() *Graph {
-	g := &Graph{
-		n:   b.n,
-		adj: make([][][]int32, b.layers),
-		m:   make([]int, b.layers),
-	}
-	deg := make([]int32, b.n)
+	g := &Graph{n: b.n, layers: make([]csrLayer, b.layers)}
+	cursor := make([]int64, b.n)
 	for layer := 0; layer < b.layers; layer++ {
-		for i := range deg {
-			deg[i] = 0
+		edges := b.edges[layer]
+		// Counting pass: degrees (duplicates included for now).
+		for i := range cursor {
+			cursor[i] = 0
 		}
-		for _, e := range b.edges[layer] {
-			deg[e[0]]++
-			deg[e[1]]++
+		for _, e := range edges {
+			cursor[e[0]]++
+			cursor[e[1]]++
 		}
-		// Single backing array per layer keeps adjacency cache-friendly.
-		flat := make([]int32, 2*len(b.edges[layer]))
-		lists := make([][]int32, b.n)
-		off := 0
+		offsets := make([]int64, b.n+1)
 		for v := 0; v < b.n; v++ {
-			lists[v] = flat[off : off : off+int(deg[v])]
-			off += int(deg[v])
+			offsets[v+1] = offsets[v] + cursor[v]
 		}
-		for _, e := range b.edges[layer] {
-			lists[e[0]] = append(lists[e[0]], e[1])
-			lists[e[1]] = append(lists[e[1]], e[0])
+		// Scatter pass into the flat array, then sort each vertex range.
+		neighbors := make([]int32, offsets[b.n])
+		copy(cursor, offsets[:b.n])
+		for _, e := range edges {
+			neighbors[cursor[e[0]]] = e[1]
+			cursor[e[0]]++
+			neighbors[cursor[e[1]]] = e[0]
+			cursor[e[1]]++
 		}
-		m := 0
 		for v := 0; v < b.n; v++ {
-			l := lists[v]
-			sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
-			lists[v] = dedupSorted(l)
-			m += len(lists[v])
+			slices.Sort(neighbors[offsets[v]:offsets[v+1]])
 		}
-		g.adj[layer] = lists
-		g.m[layer] = m / 2
+		// Dedup pass, compacting left in place. The write head never
+		// overtakes the read head, so one sweep rebuilds both arrays.
+		w := int64(0)
+		for v := 0; v < b.n; v++ {
+			start, end := offsets[v], offsets[v+1]
+			offsets[v] = w
+			for i := start; i < end; i++ {
+				if i > start && neighbors[i] == neighbors[i-1] {
+					continue
+				}
+				neighbors[w] = neighbors[i]
+				w++
+			}
+		}
+		offsets[b.n] = w
+		g.layers[layer] = csrLayer{offsets: offsets, neighbors: neighbors[:w:w]}
 	}
 	return g
 }
@@ -243,7 +340,7 @@ func (g *Graph) InducedVertexSample(keep *bitset.Set) *Graph {
 			if !keep.Contains(v) {
 				continue
 			}
-			for _, u := range g.adj[layer][v] {
+			for _, u := range g.Neighbors(layer, v) {
 				if int(u) > v && keep.Contains(int(u)) {
 					b.MustAddEdge(layer, v, int(u))
 				}
@@ -255,19 +352,16 @@ func (g *Graph) InducedVertexSample(keep *bitset.Set) *Graph {
 
 // LayerSample returns a new graph containing only the given layers, in
 // the given order. This mirrors the paper's Fig 27 experiment selecting a
-// fraction q of layers.
+// fraction q of layers. The sampled graph shares the CSR arrays of the
+// retained layers with g — both are immutable, so the aliasing is safe
+// and the sample is O(1) per layer.
 func (g *Graph) LayerSample(layers []int) *Graph {
-	ng := &Graph{
-		n:   g.n,
-		adj: make([][][]int32, len(layers)),
-		m:   make([]int, len(layers)),
-	}
+	ng := &Graph{n: g.n, layers: make([]csrLayer, len(layers))}
 	for i, layer := range layers {
 		if layer < 0 || layer >= g.L() {
 			panic(fmt.Sprintf("multilayer: layer %d out of range", layer))
 		}
-		ng.adj[i] = g.adj[layer] // immutable; sharing is safe
-		ng.m[i] = g.m[layer]
+		ng.layers[i] = g.layers[layer] // immutable; sharing is safe
 	}
 	return ng
 }

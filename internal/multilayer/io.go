@@ -28,7 +28,7 @@ func (g *Graph) Encode(w io.Writer) error {
 	}
 	for layer := 0; layer < g.L(); layer++ {
 		for v := 0; v < g.n; v++ {
-			for _, u := range g.adj[layer][v] {
+			for _, u := range g.Neighbors(layer, v) {
 				if int(u) > v {
 					if _, err := fmt.Fprintf(bw, "%d %d %d\n", layer, v, u); err != nil {
 						return err
@@ -40,9 +40,15 @@ func (g *Graph) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read parses a graph from the text edge-list format, validating the
-// header and every record. Errors identify the offending line.
-func Read(r io.Reader) (*Graph, error) {
+// Read parses a graph from the text edge-list format.
+//
+// Deprecated: Read is the historical name of Decode and delegates to it.
+func Read(r io.Reader) (*Graph, error) { return Decode(r) }
+
+// Decode parses a graph from the text edge-list format, validating the
+// header and every record. Errors identify the offending line; malformed
+// input of any shape yields an error, never a panic (see FuzzDecode).
+func Decode(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	lineNo := 0
@@ -62,6 +68,11 @@ func Read(r io.Reader) (*Graph, error) {
 			l, err2 := strconv.Atoi(fields[2])
 			if err1 != nil || err2 != nil || n < 0 || l < 0 {
 				return nil, fmt.Errorf("multilayer: line %d: invalid header %q", lineNo, line)
+			}
+			// Vertex ids must fit int32 (the adjacency element type), and
+			// an absurd layer count is a corrupt header, not a graph.
+			if n > maxVertices || l > maxLayers {
+				return nil, fmt.Errorf("multilayer: line %d: header dimensions n=%d l=%d exceed limits (%d, %d)", lineNo, n, l, maxVertices, maxLayers)
 			}
 			b = NewBuilder(n, l)
 			continue
@@ -95,7 +106,7 @@ func ReadFile(path string) (*Graph, error) {
 		return nil, err
 	}
 	defer f.Close()
-	g, err := Read(f)
+	g, err := Decode(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
