@@ -2,12 +2,13 @@
 // Figs 12–32), each running the corresponding experiment end to end on a
 // reduced-scale dataset, plus micro-benchmarks of the core primitives.
 // The dccs-bench command runs the same experiments at full scale.
-package dccs
+package dccs_test
 
 import (
 	"io"
 	"testing"
 
+	dccs "repro"
 	"repro/internal/bench"
 	"repro/internal/bitset"
 	"repro/internal/coverage"
@@ -109,7 +110,7 @@ func BenchmarkCoverageUpdate(b *testing.B) {
 
 // --- Algorithm benchmarks on the two small paper datasets -------------
 
-func benchAlgo(b *testing.B, algo func(*Graph, Options) (*Result, error), opts Options) {
+func benchAlgo(b *testing.B, algo func(*dccs.Graph, dccs.Options) (*dccs.Result, error), opts dccs.Options) {
 	b.Helper()
 	g := benchGraph(b).Graph
 	if opts.S == 0 {
@@ -124,34 +125,34 @@ func benchAlgo(b *testing.B, algo func(*Graph, Options) (*Result, error), opts O
 }
 
 func BenchmarkGreedyAuthor(b *testing.B) {
-	benchAlgo(b, Greedy, Options{D: 3, K: 10, Seed: 1})
+	benchAlgo(b, dccs.Greedy, dccs.Options{D: 3, K: 10, Seed: 1})
 }
 
 func BenchmarkBottomUpAuthor(b *testing.B) {
-	benchAlgo(b, BottomUp, Options{D: 3, K: 10, Seed: 1})
+	benchAlgo(b, dccs.BottomUp, dccs.Options{D: 3, K: 10, Seed: 1})
 }
 
 func BenchmarkTopDownAuthor(b *testing.B) {
-	benchAlgo(b, TopDown, Options{D: 3, K: 10, Seed: 1})
+	benchAlgo(b, dccs.TopDown, dccs.Options{D: 3, K: 10, Seed: 1})
 }
 
 // Ablation benches for the design choices called out in DESIGN.md: the
 // index-based RefineC vs the plain dCC refinement inside TD-DCCS, and the
 // pruning lemmas inside BU-DCCS.
 func BenchmarkTopDownIndexRefine(b *testing.B) {
-	benchAlgo(b, TopDown, Options{D: 3, K: 10, Seed: 1})
+	benchAlgo(b, dccs.TopDown, dccs.Options{D: 3, K: 10, Seed: 1})
 }
 
 func BenchmarkTopDownDCCRefine(b *testing.B) {
-	benchAlgo(b, TopDown, Options{D: 3, K: 10, Seed: 1, UseDCCRefine: true})
+	benchAlgo(b, dccs.TopDown, dccs.Options{D: 3, K: 10, Seed: 1, UseDCCRefine: true})
 }
 
 func BenchmarkBottomUpPruned(b *testing.B) {
-	benchAlgo(b, BottomUp, Options{D: 3, S: 3, K: 10, Seed: 1})
+	benchAlgo(b, dccs.BottomUp, dccs.Options{D: 3, S: 3, K: 10, Seed: 1})
 }
 
 func BenchmarkBottomUpNoPruning(b *testing.B) {
-	benchAlgo(b, BottomUp, Options{
+	benchAlgo(b, dccs.BottomUp, dccs.Options{
 		D: 3, S: 3, K: 10, Seed: 1,
 		NoEq1Pruning: true, NoOrderPruning: true, NoLayerPruning: true,
 	})
@@ -159,10 +160,10 @@ func BenchmarkBottomUpNoPruning(b *testing.B) {
 
 func BenchmarkPreprocessOnVsOff(b *testing.B) {
 	b.Run("with-preprocessing", func(b *testing.B) {
-		benchAlgo(b, BottomUp, Options{D: 3, S: 3, K: 10, Seed: 1})
+		benchAlgo(b, dccs.BottomUp, dccs.Options{D: 3, S: 3, K: 10, Seed: 1})
 	})
 	b.Run("no-preprocessing", func(b *testing.B) {
-		benchAlgo(b, BottomUp, Options{
+		benchAlgo(b, dccs.BottomUp, dccs.Options{
 			D: 3, S: 3, K: 10, Seed: 1,
 			NoVertexDeletion: true, NoSortLayers: true, NoInitResult: true,
 		})
@@ -174,7 +175,7 @@ func BenchmarkSearchStatsOverhead(b *testing.B) {
 	ds := datasets.PPI(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Search(ds.Graph, Options{D: 4, S: 4, K: 10, Seed: 1}); err != nil {
+		if _, err := dccs.Search(ds.Graph, dccs.Options{D: 4, S: 4, K: 10, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -188,7 +189,7 @@ func BenchmarkCoverMonotoneInS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		prev := 1 << 30
 		for s := 1; s <= 4; s++ {
-			res, err := BottomUp(ds.Graph, Options{D: 3, S: s, K: 5, Seed: 1})
+			res, err := dccs.BottomUp(ds.Graph, dccs.Options{D: 3, S: s, K: 5, Seed: 1})
 			if err != nil {
 				b.Fatal(err)
 			}

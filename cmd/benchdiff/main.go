@@ -1,0 +1,256 @@
+// Command benchdiff compares two runs of the repo's JSON bench
+// artifacts (BENCH_engine.json, BENCH_format.json, BENCH_serve.json)
+// and fails when a timing regressed beyond a tolerance factor — the CI
+// bench-regression gate.
+//
+// Usage:
+//
+//	benchdiff -old prev/ -new bench-out/              # compare directories
+//	benchdiff -old prev/BENCH_serve.json -new bench-out/BENCH_serve.json
+//	benchdiff -factor 2 -floor-ms 5 -old prev -new out
+//
+// Metrics are classified by field name: latency-like fields ("*_secs",
+// "*_ms", "p50*", "p99*"; lower is better) regress when
+// new > factor × old, throughput-like fields ("*qps*", "*speedup*";
+// higher is better) regress when new < old ⁄ factor. Other numerics
+// (counts, sizes) are informational. Values below the noise floor are
+// never flagged: quick-scale CI timings jitter wildly at the
+// single-millisecond level, and a 3 ms query that became 7 ms is not a
+// regression worth a red build. Arrays (per-query samples) are skipped
+// for the same reason — the totals already aggregate them.
+//
+// A missing baseline — first run, expired artifact — is not an error:
+// the tool reports what it skipped and exits 0, so the CI gate
+// self-heals. Exit codes: 0 ok, 1 regression found, 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline artifact file or directory")
+	newPath := flag.String("new", "", "fresh artifact file or directory")
+	factor := flag.Float64("factor", 2.0, "tolerated slowdown factor")
+	floorMS := flag.Float64("floor-ms", 5.0, "noise floor: timings are clamped up to this many ms before comparison, so sub-floor jitter never flags")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" || *factor <= 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -old <file|dir> -new <file|dir> [-factor 2] [-floor-ms 5]")
+		os.Exit(2)
+	}
+
+	pairs, skipped, err := resolvePairs(*oldPath, *newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	for _, s := range skipped {
+		fmt.Printf("skip: %s\n", s)
+	}
+	if len(pairs) == 0 {
+		fmt.Println("benchdiff: no baseline artifacts to compare; passing")
+		return
+	}
+
+	regressions := 0
+	for _, p := range pairs {
+		n, err := comparePair(p, *factor, *floorMS)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		regressions += n
+	}
+	if regressions > 0 {
+		fmt.Printf("\nbenchdiff: %d regression(s) beyond %.1fx\n", regressions, *factor)
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: no regressions")
+}
+
+type pair struct{ name, oldFile, newFile string }
+
+// resolvePairs expands the -old/-new arguments into comparable file
+// pairs: directly for file arguments, by matching BENCH_*.json base
+// names for directories. New artifacts without a baseline (and vice
+// versa) are skipped, not failed — artifact sets grow over time.
+func resolvePairs(oldPath, newPath string) ([]pair, []string, error) {
+	oldInfo, err := os.Stat(oldPath)
+	if os.IsNotExist(err) {
+		return nil, []string{fmt.Sprintf("baseline %s does not exist", oldPath)}, nil
+	} else if err != nil {
+		return nil, nil, err
+	}
+	newInfo, err := os.Stat(newPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !oldInfo.IsDir() && !newInfo.IsDir() {
+		return []pair{{filepath.Base(newPath), oldPath, newPath}}, nil, nil
+	}
+	if !oldInfo.IsDir() || !newInfo.IsDir() {
+		return nil, nil, fmt.Errorf("-old and -new must both be files or both directories")
+	}
+	fresh, err := filepath.Glob(filepath.Join(newPath, "BENCH_*.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	var pairs []pair
+	var skipped []string
+	for _, nf := range fresh {
+		base := filepath.Base(nf)
+		of := filepath.Join(oldPath, base)
+		if _, err := os.Stat(of); os.IsNotExist(err) {
+			skipped = append(skipped, fmt.Sprintf("%s has no baseline", base))
+			continue
+		} else if err != nil {
+			return nil, nil, err
+		}
+		pairs = append(pairs, pair{base, of, nf})
+	}
+	return pairs, skipped, nil
+}
+
+// comparePair prints the metric-by-metric comparison of one artifact
+// and returns the number of regressions.
+func comparePair(p pair, factor, floorMS float64) (int, error) {
+	oldM, err := loadFlat(p.oldFile)
+	if err != nil {
+		return 0, err
+	}
+	newM, err := loadFlat(p.newFile)
+	if err != nil {
+		return 0, err
+	}
+	keys := make([]string, 0, len(newM))
+	for k := range newM {
+		if _, ok := oldM[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	fmt.Printf("== %s ==\n", p.name)
+	regressions := 0
+	for _, k := range keys {
+		ov, nv := oldM[k], newM[k]
+		verdict := ""
+		switch classify(k) {
+		case classLatency:
+			// Clamp both sides up to the noise floor before comparing: a
+			// sub-floor baseline that jitters above the floor (3 ms → 7 ms
+			// at a 5 ms floor) stays within tolerance, while a genuine
+			// blow-up from a sub-floor baseline (3 ms → 500 ms) still
+			// trips the gate.
+			co, cn := clampFloor(k, ov, floorMS), clampFloor(k, nv, floorMS)
+			if co == cn && ov != nv {
+				verdict = "noise"
+			} else if cn > co*factor {
+				verdict = fmt.Sprintf("REGRESSION %.2fx slower", safeRatio(nv, ov))
+				regressions++
+			} else {
+				verdict = fmt.Sprintf("ok (%.2fx)", safeRatio(nv, ov))
+			}
+		case classThroughput:
+			// Throughput ratios have no absolute noise floor to test
+			// against (a speedup of 300 may be the quotient of two
+			// sub-floor timings), so they gate at factor² as a backstop:
+			// timer jitter moves a cache-hit-derived speedup by 2–3x, a
+			// genuinely broken cache moves it by orders of magnitude,
+			// and the phase latencies above the floor carry the primary
+			// factor-gated check.
+			if nv*factor*factor < ov {
+				verdict = fmt.Sprintf("REGRESSION %.2fx lower", safeRatio(ov, nv))
+				regressions++
+			} else {
+				verdict = fmt.Sprintf("ok (%.2fx)", safeRatio(nv, ov))
+			}
+		default:
+			continue // counts, sizes: informational, not gated
+		}
+		fmt.Printf("  %-28s %14.6g -> %14.6g  %s\n", k, ov, nv, verdict)
+	}
+	return regressions, nil
+}
+
+type metricClass int
+
+const (
+	classOther metricClass = iota
+	classLatency
+	classThroughput
+)
+
+// classify maps a flattened field name to its comparison direction.
+// Throughput wins ties ("load_speedup" contains no latency marker, but
+// be explicit about precedence for future fields).
+func classify(key string) metricClass {
+	k := strings.ToLower(key)
+	if strings.Contains(k, "qps") || strings.Contains(k, "speedup") {
+		return classThroughput
+	}
+	for _, marker := range []string{"_secs", "_ms", "p50", "p99"} {
+		if strings.Contains(k, marker) {
+			return classLatency
+		}
+	}
+	return classOther
+}
+
+// clampFloor raises a latency value to the noise floor, interpreting
+// the unit from the field name, so sub-floor timings compare as "at the
+// floor" rather than as precise measurements.
+func clampFloor(key string, v, floorMS float64) float64 {
+	floor := floorMS
+	if strings.Contains(strings.ToLower(key), "_secs") {
+		floor = floorMS / 1000
+	}
+	return math.Max(v, floor)
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// loadFlat parses a JSON artifact into dotted-path scalar metrics,
+// recursing through objects and skipping arrays (per-sample noise).
+func loadFlat(path string) (map[string]float64, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var root any
+	if err := json.Unmarshal(blob, &root); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	flatten("", root, out)
+	return out, nil
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flatten(key, child, out)
+		}
+	case float64:
+		if prefix != "" {
+			out[prefix] = x
+		}
+	}
+}

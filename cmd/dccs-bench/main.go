@@ -13,6 +13,8 @@
 //	                               # (writes BENCH_engine.json)
 //	dccs-bench -format -out ./out  # text parse vs .mlgb binary load vs
 //	                               # engine snapshot (writes BENCH_format.json)
+//	dccs-bench -serve -out ./out   # closed-loop HTTP serving latency: cold vs
+//	                               # cache-hit vs coalesced (BENCH_serve.json)
 package main
 
 import (
@@ -33,11 +35,14 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run the serial-vs-parallel engine comparison instead of a figure")
 	engine := flag.Bool("engine", false, "run the cold-vs-amortized prepared-engine comparison instead of a figure")
 	format := flag.Bool("format", false, "run the text-vs-binary-vs-snapshot storage comparison instead of a figure")
+	serve := flag.Bool("serve", false, "run the closed-loop HTTP serving benchmark instead of a figure")
 	flag.Parse()
 
 	s := &bench.Suite{Scale: *scale, Seed: *seed, Quick: *quick, OutDir: *out, W: os.Stdout}
 	var err error
-	if *format {
+	if *serve {
+		err = s.RunServe()
+	} else if *format {
 		err = s.RunFormat()
 	} else if *engine {
 		err = s.RunEngine()

@@ -1,0 +1,177 @@
+// Command dccs-serve is the production HTTP front end of the DCCS
+// engine: it loads one or more multi-layer graphs (text .mlg or binary
+// .mlgb, sniffed), wraps each in a long-lived dccs.Engine, and serves
+// JSON queries with result caching, request coalescing, bounded
+// admission, and snapshot-backed warm starts.
+//
+// Usage:
+//
+//	dccs-serve graph.mlgb                        # serve one graph as "graph"
+//	dccs-serve social=a.mlgb web=b.mlg           # serve several, named
+//	dccs-serve -addr :8080 -warm 3,4,5 g.mlgb    # prebuild per-d artifacts
+//	dccs-serve -snapshot-dir /var/lib/dccs \
+//	           -snapshot-interval 5m g.mlgb      # warm-start + persistence
+//	dccs-serve -cache 4096 -max-inflight 16 \
+//	           -queue-depth 64 g.mlgb            # capacity tuning
+//
+// Endpoints (see README.md for the full reference):
+//
+//	POST /v1/search   {"graph","d","s","k","seed","algorithm","timeout_ms",...}
+//	GET  /v1/graphs   served graphs with engine metrics
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /metrics     Prometheus text format
+//
+// On SIGINT/SIGTERM the server drains gracefully: new queries are
+// rejected, in-flight searches are cancelled and return their valid
+// partial results marked truncated, artifacts are snapshotted (when
+// -snapshot-dir is set), and the listener closes. A second signal
+// exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	dccs "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 0, "result-cache capacity in entries (0 = default 1024, negative = disabled)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent engine computations (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "max requests waiting for a computation slot before 429 (0 = 4×max-inflight)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query computation deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied timeout_ms")
+	workers := flag.Int("workers", 0, "default engine workers per query: 1 = serial, N > 1 = parallel search, 0 = auto")
+	warm := flag.String("warm", "", "comma-separated degree thresholds to prebuild before serving (e.g. 3,4,5)")
+	snapshotDir := flag.String("snapshot-dir", "", "directory for per-graph .mlgs artifact snapshots (warm-start + persistence)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "period of background snapshot saves (0 = only on shutdown)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries to drain")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dccs-serve [flags] <graph.mlg|graph.mlgb | name=path> ...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	specs, err := loadGraphs(flag.Args())
+	if err != nil {
+		log.Fatalf("dccs-serve: %v", err)
+	}
+
+	srv, err := server.New(server.Config{
+		MaxInflight:      *maxInflight,
+		QueueDepth:       *queueDepth,
+		CacheEntries:     *cache,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		SnapshotDir:      *snapshotDir,
+		SnapshotInterval: *snapshotInterval,
+		Engine:           dccs.EngineConfig{Workers: *workers},
+		Logf:             log.Printf,
+	}, specs...)
+	if err != nil {
+		log.Fatalf("dccs-serve: %v", err)
+	}
+
+	if *warm != "" {
+		ds, err := parseWarm(*warm)
+		if err != nil {
+			log.Fatalf("dccs-serve: -warm: %v", err)
+		}
+		start := time.Now()
+		for _, spec := range specs {
+			eng, _ := srv.Engine(spec.Name)
+			if err := eng.Warm(ds...); err != nil {
+				log.Fatalf("dccs-serve: warm %s: %v", spec.Name, err)
+			}
+		}
+		log.Printf("dccs-serve: warmed d=%v for %d graph(s) in %v", ds, len(specs), time.Since(start).Round(time.Millisecond))
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("dccs-serve: serving %d graph(s) on %s", len(specs), *addr)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("dccs-serve: %v: draining (signal again to exit now)", sig)
+		go func() {
+			<-sigc
+			log.Fatal("dccs-serve: second signal, exiting immediately")
+		}()
+	case err := <-errc:
+		log.Fatalf("dccs-serve: listener: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("dccs-serve: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("dccs-serve: http shutdown: %v", err)
+	}
+	log.Print("dccs-serve: bye")
+}
+
+// loadGraphs resolves the positional arguments: either bare paths
+// (served under the file's base name without extension) or name=path
+// pairs.
+func loadGraphs(args []string) ([]server.GraphSpec, error) {
+	specs := make([]server.GraphSpec, 0, len(args))
+	for _, arg := range args {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			path = arg
+			base := filepath.Base(path)
+			name = strings.TrimSuffix(base, filepath.Ext(base))
+		}
+		start := time.Now()
+		g, err := dccs.ReadGraphFile(path)
+		if err != nil {
+			return nil, err
+		}
+		st := g.Stats()
+		log.Printf("dccs-serve: loaded %s from %s (n=%d l=%d Σ|E|=%d) in %v",
+			name, path, st.N, st.Layers, st.TotalEdges, time.Since(start).Round(time.Millisecond))
+		specs = append(specs, server.GraphSpec{Name: name, Graph: g})
+	}
+	return specs, nil
+}
+
+// parseWarm parses the -warm list of degree thresholds.
+func parseWarm(list string) ([]int, error) {
+	var ds []int
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		d, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		ds = append(ds, d)
+	}
+	if len(ds) == 0 {
+		return nil, errors.New("empty threshold list")
+	}
+	return ds, nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -117,6 +118,9 @@ type Engine struct {
 	cfg     EngineConfig
 	pr      *core.Prepared
 	queries atomic.Int64
+
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // NewEngine returns an Engine serving queries against g. The graph must
@@ -133,6 +137,79 @@ func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) {
 
 // Graph returns the graph this engine serves.
 func (e *Engine) Graph() *Graph { return e.g }
+
+// Fingerprint returns the engine's graph fingerprint: an FNV-1a hash
+// over the full CSR content (see Graph.Fingerprint). Result caches
+// layered above an Engine key on it so that entries computed for one
+// graph can never answer queries against another — the same gate the
+// .mlgs snapshot format uses. The hash walks every edge, so the engine
+// computes it once (the graph is immutable) and serves it from memory:
+// it sits on the per-request cache-key path.
+func (e *Engine) Fingerprint() uint64 {
+	e.fpOnce.Do(func() { e.fp = e.g.Fingerprint() })
+	return e.fp
+}
+
+// CanonicalQuery maps q to a canonical representative of its
+// result-equivalence class: two queries with equal canonical forms are
+// guaranteed to produce equal results from this engine, so the
+// canonical form (together with the graph fingerprint) is a sound cache
+// key. Three normalizations apply, each justified by a determinism
+// contract documented on the field it folds away (see DESIGN.md):
+//
+//   - Algorithm: "" and AlgoAuto resolve to the crossover-rule choice,
+//     which depends only on S and the graph — a query asking for "auto"
+//     and one asking for the algorithm auto would pick are the same
+//     query.
+//   - Workers: collapsed to the two result classes. An effective worker
+//     count ≤ 1 (including 0, whose parallel stages are bit-for-bit
+//     identical to serial) reproduces the serial search exactly →
+//     canonical 1; any N > 1 produces one N-independent parallel result
+//     for a fixed Seed → canonical 2. The engine-default substitution
+//     for Workers == 0 happens first, so the canonical form is stable
+//     against Query-vs-EngineConfig placement of the same setting.
+//   - D: clamped at max coreness + 1, beyond which every d-core is
+//     empty and all results are identical (the per-d artifact cache
+//     applies the same clamp).
+//
+// OnCandidate is dropped: it observes the search but never changes the
+// result. Seed, S, K and MaxTreeNodes are result-relevant and pass
+// through unchanged. The first call may compute the per-layer coreness
+// (needed for the D clamp); that artifact is cached and shared with
+// queries. Note one caveat inherited from Options.Workers: a parallel
+// run with a MaxTreeNodes budget truncates at a scheduling-dependent
+// point, so for Workers > 1 && MaxTreeNodes > 0 equal canonical forms
+// guarantee equally *valid* results rather than equal ones — a cache
+// returns one representative.
+func (e *Engine) CanonicalQuery(q Query) Query {
+	q.OnCandidate = nil
+	if q.Algorithm == "" || q.Algorithm == AlgoAuto {
+		q.Algorithm = autoAlgorithm(e.g, q.S)
+	}
+	workers := q.Workers
+	if workers == 0 {
+		workers = e.cfg.Workers
+	}
+	if workers <= 1 {
+		q.Workers = 1
+	} else {
+		q.Workers = 2
+	}
+	if maxD := e.pr.MaxCoreness() + 1; q.D > maxD {
+		q.D = maxD
+	}
+	return q
+}
+
+// CacheKey renders the canonical form of q, prefixed with the graph
+// fingerprint, as a flat string — a ready-made map key for result
+// caches. Queries with equal keys are interchangeable: same graph, same
+// result (modulo the Workers>1+MaxTreeNodes caveat on CanonicalQuery).
+func (e *Engine) CacheKey(q Query) string {
+	c := e.CanonicalQuery(q)
+	return fmt.Sprintf("%016x|d%d|s%d|k%d|x%d|a%s|m%d|w%d",
+		e.Fingerprint(), c.D, c.S, c.K, c.Seed, c.Algorithm, c.MaxTreeNodes, c.Workers)
+}
 
 // Metrics returns the engine's lifetime counters.
 func (e *Engine) Metrics() EngineMetrics {

@@ -1,0 +1,114 @@
+package dccs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+// TestCanonicalQueryEquivalenceClasses pins the cache-key contract:
+// queries that are guaranteed to produce equal results share a key,
+// result-relevant parameters split keys.
+func TestCanonicalQueryEquivalenceClasses(t *testing.T) {
+	g, _ := datasets.FourLayerExample()
+	eng, err := NewEngine(g, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Query{D: 3, S: 2, K: 2, Seed: 1}
+
+	same := []Query{
+		{D: 3, S: 2, K: 2, Seed: 1, Algorithm: AlgoAuto},
+		{D: 3, S: 2, K: 2, Seed: 1, Algorithm: AlgoTopDown}, // what auto resolves to at s=2, l=4
+		{D: 3, S: 2, K: 2, Seed: 1, Workers: 1},             // serial class, explicit
+		{D: 3, S: 2, K: 2, Seed: 1, Workers: -3},            // negative behaves like 1
+		{D: 3, S: 2, K: 2, Seed: 1, OnCandidate: func(CC) {}},
+	}
+	for i, q := range same {
+		if got, want := eng.CacheKey(q), eng.CacheKey(base); got != want {
+			t.Errorf("variant %d: key %q != base %q", i, got, want)
+		}
+	}
+
+	diff := []Query{
+		{D: 2, S: 2, K: 2, Seed: 1},
+		{D: 3, S: 3, K: 2, Seed: 1},
+		{D: 3, S: 2, K: 5, Seed: 1},
+		{D: 3, S: 2, K: 2, Seed: 2},
+		{D: 3, S: 2, K: 2, Seed: 1, Algorithm: AlgoGreedy},
+		{D: 3, S: 2, K: 2, Seed: 1, Workers: 4}, // parallel class
+		{D: 3, S: 2, K: 2, Seed: 1, MaxTreeNodes: 7},
+	}
+	seen := map[string]int{eng.CacheKey(base): -1}
+	for i, q := range diff {
+		key := eng.CacheKey(q)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("variant %d: key %q collides with variant %d", i, key, prev)
+		}
+		seen[key] = i
+	}
+
+	// Workers class: any two N > 1 are interchangeable (N-independent
+	// parallel results), and the engine default substitutes for 0.
+	if eng.CacheKey(Query{D: 3, S: 2, K: 2, Seed: 1, Workers: 2}) !=
+		eng.CacheKey(Query{D: 3, S: 2, K: 2, Seed: 1, Workers: 16}) {
+		t.Error("parallel runs with different N split keys")
+	}
+	par, err := NewEngine(g, EngineConfig{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.CanonicalQuery(Query{D: 3, S: 2, K: 2}).Workers != 2 {
+		t.Error("engine-default workers not folded into the parallel class")
+	}
+}
+
+// TestCanonicalQueryClampsD: thresholds beyond the graph's maximum
+// coreness all have empty cores, hence equal results and one key.
+func TestCanonicalQueryClampsD(t *testing.T) {
+	g, _ := datasets.FourLayerExample()
+	eng, err := NewEngine(g, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := eng.CacheKey(Query{D: 100, S: 2, K: 2, Seed: 1})
+	k2 := eng.CacheKey(Query{D: 1 << 30, S: 2, K: 2, Seed: 1})
+	if k1 != k2 {
+		t.Fatalf("beyond-degeneracy thresholds split keys: %q vs %q", k1, k2)
+	}
+	if k1 == eng.CacheKey(Query{D: 3, S: 2, K: 2, Seed: 1}) {
+		t.Fatal("in-range threshold collides with the clamp sentinel")
+	}
+}
+
+// TestCacheKeyEmbedsFingerprint: equal queries against different graphs
+// must never share a key, and the memoized fingerprint must match the
+// graph's.
+func TestCacheKeyEmbedsFingerprint(t *testing.T) {
+	g1, _ := datasets.FourLayerExample()
+	g2 := datasets.PPI(1).Graph
+	e1, err := NewEngine(g1, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngine(g2, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Fingerprint() != g1.Fingerprint() {
+		t.Fatal("memoized fingerprint differs from the graph's")
+	}
+	if e1.Fingerprint() != e1.Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+	q := Query{D: 2, S: 2, K: 2, Seed: 1}
+	k1, k2 := e1.CacheKey(q), e2.CacheKey(q)
+	if k1 == k2 {
+		t.Fatalf("same key %q across different graphs", k1)
+	}
+	if !strings.HasPrefix(k1, fmt.Sprintf("%016x", g1.Fingerprint())) {
+		t.Fatalf("key %q does not start with the graph fingerprint", k1)
+	}
+}

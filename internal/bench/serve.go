@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/server"
+)
+
+// servePhase summarizes one phase of the closed-loop serving bench.
+type servePhase struct {
+	Requests int     `json:"requests"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	QPS      float64 `json:"qps"`
+}
+
+// serveBenchReport is the BENCH_serve.json artifact: client-observed
+// latency (full HTTP round trip, loopback) under the three serving
+// regimes — cold cache misses that run the engine, LRU cache hits, and
+// concurrent identical queries coalesced onto one computation.
+type serveBenchReport struct {
+	N          int `json:"n"`
+	Layers     int `json:"layers"`
+	TotalEdges int `json:"total_edges"`
+
+	Cold      servePhase `json:"cold"`
+	CacheHit  servePhase `json:"cache_hit"`
+	Coalesced servePhase `json:"coalesced"`
+
+	CoalescedRounds      int `json:"coalesced_rounds"`
+	CoalescedConcurrency int `json:"coalesced_concurrency"`
+	CoalescedShared      int `json:"coalesced_shared"` // responses with source=coalesced
+	EngineRuns           int `json:"engine_runs"`      // responses with source=engine across all phases
+
+	HitOverColdSpeedup float64 `json:"hit_over_cold_speedup"`
+}
+
+// serveQuery issues one POST /v1/search and returns the client-observed
+// latency plus the response's source tag.
+func serveQuery(client *http.Client, url string, body []byte) (time.Duration, string, error) {
+	start := time.Now()
+	resp, err := client.Post(url+"/v1/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Source    string `json:"source"`
+		CoverSize int    `json:"cover_size"`
+		Error     string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, "", err
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, "", fmt.Errorf("bench: serve: %s (HTTP %d)", out.Error, resp.StatusCode)
+	}
+	return time.Since(start), out.Source, nil
+}
+
+func phaseFrom(lat []time.Duration, wall time.Duration) servePhase {
+	slices.Sort(lat)
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	n := len(lat)
+	p99 := lat[(99*n-1)/100]
+	return servePhase{
+		Requests: n,
+		P50MS:    ms(lat[n/2]),
+		P99MS:    ms(p99),
+		QPS:      float64(n) / wall.Seconds(),
+	}
+}
+
+// searchBody renders the request for one (s, seed) point of the bench
+// workload; the remaining parameters are the Fig 13 defaults.
+func searchBody(s int, seed int64) []byte {
+	b, err := json.Marshal(map[string]any{
+		"d": defaultD, "s": s, "k": defaultK, "seed": seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Serve runs the closed-loop serving benchmark against an in-process
+// dccs-serve instance (httptest listener, loopback HTTP — real request
+// parsing, admission, cache and JSON encode on every sample):
+//
+//   - cold: sequential cache-miss queries (fresh seed each), every one
+//     running the engine. The hierarchy is pre-warmed so the phase
+//     measures steady-state compute, not one-time artifact builds.
+//   - cache_hit: one query repeated sequentially; after the first fill,
+//     every round trip is an LRU hit.
+//   - coalesced: rounds of identical concurrent queries with a fresh
+//     seed per round: one leader runs the engine, the rest share it.
+func (s *Suite) Serve() ([]*Table, *serveBenchReport, error) {
+	// A sparse planted-communities graph, not a dense random one: serving
+	// latency is compute + response encode, and a dense graph's near-
+	// total covers would make JSON encoding the floor of every phase.
+	// Sparse background + planted communities keeps answers (and hence
+	// the cache-hit floor) small while the search over C(l,s) subsets of
+	// a large vertex set keeps cold queries expensive.
+	n := 60000
+	if s.Quick {
+		n = 25000
+	}
+	g := datasets.Generate(datasets.Config{
+		Name: "serve", N: n, Layers: 10, Seed: s.Seed,
+		AvgDegree: 2.2, Gamma: 2.3, Correlation: 0.5,
+		Communities: n / 500, MinSize: 12, MaxSize: 30,
+		MinSupport: 3, MaxSupport: 6, PIn: 0.6,
+		Persistent: 4, CrossLayerNoise: 0.05,
+	}).Graph
+	st := g.Stats()
+
+	srv, err := server.New(server.Config{}, server.GraphSpec{Name: "bench", Graph: g})
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, _ := srv.Engine("bench")
+	if err := eng.Warm(defaultD); err != nil {
+		return nil, nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	report := &serveBenchReport{N: st.N, Layers: st.Layers, TotalEdges: st.TotalEdges}
+	engineRuns := 0
+
+	coldN := 30
+	if s.Quick {
+		coldN = 15
+	}
+	// Workload: alternate a bottom-up (small s) and a top-down (large s)
+	// query shape, fresh seed per request so every one misses the cache.
+	lat := make([]time.Duration, 0, coldN)
+	wallStart := time.Now()
+	for i := 0; i < coldN; i++ {
+		sv := defaultS
+		if i%2 == 1 {
+			sv = g.L() - 2
+		}
+		d, src, err := serveQuery(client, ts.URL, searchBody(sv, int64(1000+i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		if src != "engine" {
+			return nil, nil, fmt.Errorf("bench: serve: cold query %d answered from %q, want engine", i, src)
+		}
+		engineRuns++
+		lat = append(lat, d)
+	}
+	report.Cold = phaseFrom(lat, time.Since(wallStart))
+
+	hitN := 200
+	if s.Quick {
+		hitN = 100
+	}
+	hitBody := searchBody(defaultS, 1)
+	if _, src, err := serveQuery(client, ts.URL, hitBody); err != nil {
+		return nil, nil, err
+	} else if src == "engine" {
+		engineRuns++
+	}
+	lat = lat[:0]
+	wallStart = time.Now()
+	for i := 0; i < hitN; i++ {
+		d, src, err := serveQuery(client, ts.URL, hitBody)
+		if err != nil {
+			return nil, nil, err
+		}
+		if src != "cache" {
+			return nil, nil, fmt.Errorf("bench: serve: hit query %d answered from %q, want cache", i, src)
+		}
+		lat = append(lat, d)
+	}
+	report.CacheHit = phaseFrom(lat, time.Since(wallStart))
+
+	rounds, conc := 10, 16
+	if s.Quick {
+		rounds = 5
+	}
+	report.CoalescedRounds, report.CoalescedConcurrency = rounds, conc
+	lat = lat[:0]
+	var mu sync.Mutex
+	wallStart = time.Now()
+	for r := 0; r < rounds; r++ {
+		body := searchBody(g.L()-2, int64(5000+r))
+		var wg sync.WaitGroup
+		errs := make([]error, conc)
+		for c := 0; c < conc; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				d, src, err := serveQuery(client, ts.URL, body)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				mu.Lock()
+				lat = append(lat, d)
+				switch src {
+				case "coalesced":
+					report.CoalescedShared++
+				case "engine":
+					engineRuns++
+				}
+				mu.Unlock()
+			}(c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	report.Coalesced = phaseFrom(lat, time.Since(wallStart))
+	report.EngineRuns = engineRuns
+	if report.CacheHit.P50MS > 0 {
+		report.HitOverColdSpeedup = report.Cold.P50MS / report.CacheHit.P50MS
+	}
+
+	t := &Table{
+		Title:  "Serve: closed-loop HTTP latency by serving regime",
+		Header: []string{"phase", "requests", "p50 ms", "p99 ms", "QPS"},
+		Notes: []string{
+			fmt.Sprintf("benchmark graph: n=%d l=%d Σ|E|=%d; loopback HTTP, JSON round trip included",
+				st.N, st.Layers, st.TotalEdges),
+			fmt.Sprintf("cache-hit p50 is %.1fx faster than cold p50", report.HitOverColdSpeedup),
+			fmt.Sprintf("coalescing: %d rounds × %d clients → %d engine runs total, %d shared",
+				rounds, conc, report.EngineRuns, report.CoalescedShared),
+		},
+	}
+	for _, row := range []struct {
+		name string
+		ph   servePhase
+	}{{"cold", report.Cold}, {"cache_hit", report.CacheHit}, {"coalesced", report.Coalesced}} {
+		t.Add(row.name, row.ph.Requests, row.ph.P50MS, row.ph.P99MS, fmt.Sprintf("%.0f", row.ph.QPS))
+	}
+	return []*Table{t}, report, nil
+}
+
+// RunServe executes the serving benchmark, prints its table, and — when
+// OutDir is set — writes the BENCH_serve.json artifact.
+func (s *Suite) RunServe() error {
+	if s.W == nil {
+		return fmt.Errorf("bench: no output writer")
+	}
+	start := time.Now()
+	tables, report, err := s.Serve()
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		t.Fprint(s.W)
+	}
+	if s.OutDir != "" {
+		if err := os.MkdirAll(s.OutDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(s.OutDir, "BENCH_serve.json")
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.W, "artifact: %s\n", path)
+	}
+	fmt.Fprintf(s.W, "[serve done in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunServeSmoke runs the closed-loop serving bench end to end at
+// quick scale and checks the table, the JSON artifact, and the two
+// serving-regime contracts the artifact records: cache hits are far
+// faster than cold queries, and coalescing collapsed each concurrent
+// round onto one engine run.
+func TestRunServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full closed-loop HTTP load bench")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	s := &Suite{W: &buf, Quick: true, Seed: 1, OutDir: dir}
+	if err := s.RunServe(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Serve: closed-loop HTTP latency", "cache_hit", "coalesced"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+
+	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report serveBenchReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Cold.Requests == 0 || report.CacheHit.Requests == 0 || report.Coalesced.Requests == 0 {
+		t.Fatalf("empty phase in %+v", report)
+	}
+	// The acceptance bar is 10x; a healthy run is orders of magnitude
+	// above it (a map lookup vs a full search), so 10x here is a
+	// regression tripwire, not a tight fit.
+	if report.HitOverColdSpeedup < 10 {
+		t.Errorf("cache-hit p50 only %.1fx faster than cold, want ≥ 10x", report.HitOverColdSpeedup)
+	}
+	// Every coalesced round admits exactly one engine leader — a
+	// straggler that arrives after the leader finished is served from
+	// the cache, never from a second computation — so the total engine
+	// run count is fully determined. Sharing itself is timing-dependent
+	// only in degree, not in kind: demand at least one per round.
+	wantRuns := report.Cold.Requests + 1 + report.CoalescedRounds
+	if report.EngineRuns != wantRuns {
+		t.Errorf("engine_runs = %d, want %d (cold + cache fill + one leader per round)",
+			report.EngineRuns, wantRuns)
+	}
+	if report.CoalescedShared < report.CoalescedRounds {
+		t.Errorf("coalesced_shared = %d over %d rounds, want at least one per round",
+			report.CoalescedShared, report.CoalescedRounds)
+	}
+	if report.Coalesced.QPS <= report.Cold.QPS {
+		t.Errorf("coalesced QPS %.0f not above cold QPS %.0f", report.Coalesced.QPS, report.Cold.QPS)
+	}
+}

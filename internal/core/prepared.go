@@ -85,6 +85,16 @@ func (pr *Prepared) Counters() PreparedCounters {
 	}
 }
 
+// MaxCoreness returns the graph's maximum coreness over all layers and
+// vertices, computing the (d-independent, cached) per-layer coreness on
+// first use. Every degree threshold beyond it yields empty d-cores, so
+// d values above MaxCoreness()+1 are interchangeable — the fact the
+// per-d cache clamp and the engine's cache-key canonicalization share.
+func (pr *Prepared) MaxCoreness() int {
+	pr.layerCoreness()
+	return pr.maxCoreness
+}
+
 // Prepare eagerly builds the cached artifacts for degree threshold d —
 // the per-layer coreness (shared by all d) and the per-d removal
 // hierarchy — so the first query for that d does not pay construction

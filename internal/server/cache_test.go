@@ -1,0 +1,93 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	dccs "repro"
+)
+
+func res(cover int) *dccs.Result { return &dccs.Result{CoverSize: cover} }
+
+func TestCacheLRUSemantics(t *testing.T) {
+	c := newResultCache(2)
+	c.Put("a", res(1))
+	c.Put("b", res(2))
+	if got := c.Get("a"); got == nil || got.CoverSize != 1 {
+		t.Fatalf("Get(a) = %v", got)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.Put("c", res(3))
+	if c.Get("b") != nil {
+		t.Fatal("b survived eviction")
+	}
+	if c.Get("a") == nil || c.Get("c") == nil {
+		t.Fatal("recently used entries evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if c.evictions.Load() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.evictions.Load())
+	}
+
+	// Re-putting refreshes recency and replaces the value.
+	c.Put("a", res(10))
+	c.Put("d", res(4)) // evicts "c", not the refreshed "a"
+	if c.Get("c") != nil {
+		t.Fatal("c survived eviction after a's refresh")
+	}
+	if got := c.Get("a"); got == nil || got.CoverSize != 10 {
+		t.Fatalf("refreshed a = %v", got)
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := newResultCache(4)
+	c.Put("x", res(1))
+	c.Get("x")
+	c.Get("x")
+	c.Get("y")
+	if h, m := c.hits.Load(), c.misses.Load(); h != 2 || m != 1 {
+		t.Fatalf("hits %d misses %d, want 2/1", h, m)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.Put("x", res(1))
+	if c.Get("x") != nil {
+		t.Fatal("disabled cache returned a value")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+// TestCacheConcurrentHammer is the -race stress for the LRU: many
+// goroutines over a tiny capacity so promotion, insertion and eviction
+// constantly interleave.
+func TestCacheConcurrentHammer(t *testing.T) {
+	c := newResultCache(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", (i*7+w)%32)
+				if i%3 == 0 {
+					c.Put(key, res(i))
+				} else if got := c.Get(key); got != nil && got.CoverSize < 0 {
+					t.Error("corrupt entry")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("capacity violated: %d entries", c.Len())
+	}
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	dccs "repro"
+)
+
+// flightGroup coalesces concurrent identical queries: the first request
+// for a key becomes the leader and runs the computation; requests that
+// arrive for the same key while it is in flight become followers and
+// share the leader's result. This is sound because equal keys guarantee
+// interchangeable results (Engine.CacheKey) and results are immutable —
+// see DESIGN.md. A homegrown ~60-line singleflight keeps the module
+// dependency-free.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight computation. done is closed exactly once,
+// after val and err are final; followers only read them after <-done.
+type flightCall struct {
+	done chan struct{}
+	val  *dccs.Result
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: map[string]*flightCall{}}
+}
+
+// Do returns the result of fn for key, running fn exactly once per
+// in-flight key: the leader executes it, followers wait and share. The
+// third return reports whether this caller was a follower. A follower
+// whose ctx expires before the leader finishes gives up and returns
+// ctx.Err() (the leader's computation continues; its deadline is the
+// leader's own).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*dccs.Result, error)) (*dccs.Result, error, bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// The cleanup must survive a panicking fn: net/http recovers the
+	// leader's goroutine, and without the defer the stale call would sit
+	// in the map forever, wedging every future request for this key
+	// behind a done channel that never closes. Followers get an error
+	// rather than a nil result; the panic itself is re-raised for the
+	// leader's recover layer to report.
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("server: query computation panicked: %v", r)
+			close(c.done)
+			panic(r)
+		}
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// serverMetrics aggregates the server-side counters exported by GET
+// /metrics. Everything is a plain atomic — no external metrics
+// dependency — rendered on scrape in the Prometheus text exposition
+// format. Engine- and cache-level counters live with their owners and
+// are folded in at render time.
+type serverMetrics struct {
+	// Per-outcome search accounting: count and total handler latency.
+	searchEngine, searchCache, searchCoalesced       atomic.Int64
+	searchEngineNS, searchCacheNS, searchCoalescedNS atomic.Int64
+
+	coalesced atomic.Int64 // requests that shared another's computation
+
+	inflight            atomic.Int64 // admitted engine computations
+	rejectedQueueFull   atomic.Int64
+	rejectedDraining    atomic.Int64
+	rejectedWaitTimeout atomic.Int64
+
+	snapshotSaves atomic.Int64
+
+	// HTTP status counts, keyed by numeric code.
+	statusMu sync.Mutex
+	status   map[int]int64
+}
+
+func (m *serverMetrics) countSearch(source string, elapsed time.Duration) {
+	switch source {
+	case "cache":
+		m.searchCache.Add(1)
+		m.searchCacheNS.Add(int64(elapsed))
+	case "coalesced":
+		m.searchCoalesced.Add(1)
+		m.searchCoalescedNS.Add(int64(elapsed))
+	default:
+		m.searchEngine.Add(1)
+		m.searchEngineNS.Add(int64(elapsed))
+	}
+}
+
+func (m *serverMetrics) countStatus(code int) {
+	m.statusMu.Lock()
+	if m.status == nil {
+		m.status = map[int]int64{}
+	}
+	m.status[code]++
+	m.statusMu.Unlock()
+}
+
+// promLabel renders one label pair with the value escaped per the
+// Prometheus text exposition format (backslash, double quote and
+// newline). Graph names come from the command line, so an unescaped
+// quote would corrupt the whole scrape, not just one series.
+func promLabel(name, value string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return fmt.Sprintf(`%s="%s"`, name, r.Replace(value))
+}
+
+// promWriter accumulates Prometheus text-format lines with one-shot
+// TYPE headers.
+type promWriter struct {
+	w   http.ResponseWriter
+	err error
+}
+
+func (p *promWriter) typ(name, kind string) {
+	p.printf("# TYPE %s %s\n", name, kind)
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) counter(name, labels string, v int64) {
+	p.sample(name, labels, fmt.Sprintf("%d", v))
+}
+
+func (p *promWriter) gauge(name, labels string, v float64) {
+	p.sample(name, labels, fmt.Sprintf("%g", v))
+}
+
+func (p *promWriter) sample(name, labels, v string) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	p.printf("%s%s %s\n", name, labels, v)
+}
+
+// handleMetrics renders GET /metrics. The catalog is documented in
+// README.md; keep the two in sync.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	m := &s.metrics
+	// Count the scrape before rendering so dccs_http_responses_total
+	// includes it — the catalog promises responses by status for every
+	// endpoint, not just the search path.
+	m.countStatus(http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := &promWriter{w: w}
+
+	p.typ("dccs_uptime_seconds", "gauge")
+	p.gauge("dccs_uptime_seconds", "", time.Since(s.start).Seconds())
+
+	p.typ("dccs_search_requests_total", "counter")
+	p.counter("dccs_search_requests_total", `source="engine"`, m.searchEngine.Load())
+	p.counter("dccs_search_requests_total", `source="cache"`, m.searchCache.Load())
+	p.counter("dccs_search_requests_total", `source="coalesced"`, m.searchCoalesced.Load())
+
+	p.typ("dccs_search_seconds_total", "counter")
+	p.gauge("dccs_search_seconds_total", `source="engine"`, time.Duration(m.searchEngineNS.Load()).Seconds())
+	p.gauge("dccs_search_seconds_total", `source="cache"`, time.Duration(m.searchCacheNS.Load()).Seconds())
+	p.gauge("dccs_search_seconds_total", `source="coalesced"`, time.Duration(m.searchCoalescedNS.Load()).Seconds())
+
+	p.typ("dccs_coalesced_total", "counter")
+	p.counter("dccs_coalesced_total", "", m.coalesced.Load())
+
+	p.typ("dccs_cache_hits_total", "counter")
+	p.counter("dccs_cache_hits_total", "", s.cache.hits.Load())
+	p.typ("dccs_cache_misses_total", "counter")
+	p.counter("dccs_cache_misses_total", "", s.cache.misses.Load())
+	p.typ("dccs_cache_evictions_total", "counter")
+	p.counter("dccs_cache_evictions_total", "", s.cache.evictions.Load())
+	p.typ("dccs_cache_entries", "gauge")
+	p.gauge("dccs_cache_entries", "", float64(s.cache.Len()))
+	p.typ("dccs_cache_capacity", "gauge")
+	p.gauge("dccs_cache_capacity", "", float64(s.cache.capacity))
+
+	p.typ("dccs_inflight", "gauge")
+	p.gauge("dccs_inflight", "", float64(m.inflight.Load()))
+	p.typ("dccs_queued", "gauge")
+	p.gauge("dccs_queued", "", float64(s.queued.Load()))
+	p.typ("dccs_rejected_total", "counter")
+	p.counter("dccs_rejected_total", `reason="queue_full"`, m.rejectedQueueFull.Load())
+	p.counter("dccs_rejected_total", `reason="draining"`, m.rejectedDraining.Load())
+	p.counter("dccs_rejected_total", `reason="wait_timeout"`, m.rejectedWaitTimeout.Load())
+
+	p.typ("dccs_snapshot_saves_total", "counter")
+	p.counter("dccs_snapshot_saves_total", "", m.snapshotSaves.Load())
+
+	p.typ("dccs_http_responses_total", "counter")
+	m.statusMu.Lock()
+	codes := make([]int, 0, len(m.status))
+	for c := range m.status {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		p.counter("dccs_http_responses_total", fmt.Sprintf(`code="%d"`, c), m.status[c])
+	}
+	m.statusMu.Unlock()
+
+	p.typ("dccs_engine_queries_total", "counter")
+	for _, name := range s.names {
+		em := s.graphs[name].eng.Metrics()
+		p.counter("dccs_engine_queries_total", promLabel("graph", name), em.Queries)
+	}
+	p.typ("dccs_engine_coreness_builds_total", "counter")
+	for _, name := range s.names {
+		em := s.graphs[name].eng.Metrics()
+		p.counter("dccs_engine_coreness_builds_total", promLabel("graph", name), em.CorenessBuilds)
+	}
+	p.typ("dccs_engine_hierarchy_builds_total", "counter")
+	for _, name := range s.names {
+		em := s.graphs[name].eng.Metrics()
+		p.counter("dccs_engine_hierarchy_builds_total", promLabel("graph", name), em.HierarchyBuilds)
+	}
+	if p.err != nil {
+		s.cfg.Logf("server: metrics write: %v", p.err)
+	}
+}

@@ -1,0 +1,358 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	dccs "repro"
+)
+
+// Config carries the process-lifetime settings of a Server. The zero
+// value selects sensible production defaults (see each field).
+type Config struct {
+	// MaxInflight bounds the number of engine computations running at
+	// once; requests beyond it wait in the admission queue. 0 means
+	// GOMAXPROCS.
+	MaxInflight int
+	// QueueDepth bounds how many requests may wait for an inflight slot
+	// before new arrivals are rejected with 429. 0 means 4×MaxInflight;
+	// negative means no waiting (reject as soon as all slots are busy).
+	QueueDepth int
+	// CacheEntries is the LRU result-cache capacity. 0 means 1024;
+	// negative disables result caching (coalescing still applies).
+	CacheEntries int
+	// DefaultTimeout bounds a query's computation when the request does
+	// not set timeout_ms. 0 means 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied timeouts. 0 means 5m.
+	MaxTimeout time.Duration
+	// SnapshotDir, when non-empty, enables snapshot persistence: at
+	// startup each graph's engine warm-starts from <dir>/<name>.mlgs if
+	// present, and Shutdown (plus the periodic loop, if enabled) saves
+	// the artifacts back.
+	SnapshotDir string
+	// SnapshotInterval, when positive and SnapshotDir is set, saves
+	// every engine's artifacts on this period in the background.
+	SnapshotInterval time.Duration
+	// Engine is the configuration shared by every engine this server
+	// builds.
+	Engine dccs.EngineConfig
+	// Logf receives operational log lines (snapshot saves, load
+	// failures). nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.MaxInflight == 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxInflight < 1 {
+		c.MaxInflight = 1
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.MaxInflight
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// GraphSpec names one graph a Server serves.
+type GraphSpec struct {
+	Name  string
+	Graph *dccs.Graph
+}
+
+// graphHandle pairs a named graph with its long-lived engine.
+type graphHandle struct {
+	name string
+	g    *dccs.Graph
+	eng  *dccs.Engine
+}
+
+// Server serves DCCS queries over HTTP for a fixed set of graphs, one
+// immutable dccs.Engine per graph. It is safe for concurrent use; all
+// mutable state (cache, counters, admission) is internally synchronized.
+type Server struct {
+	cfg    Config
+	start  time.Time
+	graphs map[string]*graphHandle
+	names  []string // insertion order, for stable /v1/graphs listings
+
+	cache  *resultCache
+	flight *flightGroup
+
+	// Admission: sem holds MaxInflight tokens; queued counts requests
+	// waiting for one, bounded by QueueDepth.
+	sem    chan struct{}
+	queued atomic.Int64
+
+	// queryCtx parents every computation context; Shutdown cancels it,
+	// draining in-flight searches via the engines' cancellation support.
+	queryCtx    context.Context
+	cancelQuery context.CancelFunc
+
+	// Drain accounting. inflightWG counts live search handlers; the
+	// mutex orders handler registration against Shutdown's drain flip,
+	// so inflightWG.Add can never race Shutdown's Wait at counter zero
+	// (a documented WaitGroup misuse) and no handler slips in between
+	// the drain flip and the final snapshot. draining stays an atomic
+	// for the cheap reads on side paths (healthz, metrics).
+	drainMu    sync.Mutex
+	inflightWG sync.WaitGroup
+	draining   atomic.Bool
+
+	snapStop chan struct{}
+	snapWG   sync.WaitGroup
+
+	metrics serverMetrics
+}
+
+// New builds a Server over the given graphs. Engines are created
+// immediately (cheap — artifacts build lazily) and, when
+// cfg.SnapshotDir is set, warm-started from per-graph .mlgs snapshots;
+// a missing snapshot is normal (first boot), a stale or corrupt one is
+// logged and ignored. The periodic snapshot loop starts here when
+// configured; stop it with Shutdown.
+func New(cfg Config, specs ...GraphSpec) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(specs) == 0 {
+		return nil, errors.New("server: no graphs to serve")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:         cfg,
+		start:       time.Now(),
+		graphs:      map[string]*graphHandle{},
+		cache:       newResultCache(cfg.CacheEntries),
+		flight:      newFlightGroup(),
+		sem:         make(chan struct{}, cfg.MaxInflight),
+		queryCtx:    ctx,
+		cancelQuery: cancel,
+		snapStop:    make(chan struct{}),
+	}
+	for _, spec := range specs {
+		if spec.Name == "" || spec.Graph == nil {
+			cancel()
+			return nil, fmt.Errorf("server: graph spec needs a name and a graph (got %q, %v)", spec.Name, spec.Graph != nil)
+		}
+		if _, dup := s.graphs[spec.Name]; dup {
+			cancel()
+			return nil, fmt.Errorf("server: duplicate graph name %q", spec.Name)
+		}
+		eng, err := dccs.NewEngine(spec.Graph, cfg.Engine)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: %s: %w", spec.Name, err)
+		}
+		h := &graphHandle{name: spec.Name, g: spec.Graph, eng: eng}
+		if cfg.SnapshotDir != "" {
+			path := s.snapshotPath(spec.Name)
+			if err := eng.LoadSnapshot(path); err == nil {
+				cfg.Logf("server: %s: warm-started from %s", spec.Name, path)
+			} else if !errors.Is(err, os.ErrNotExist) {
+				cfg.Logf("server: %s: ignoring snapshot: %v", spec.Name, err)
+			}
+		}
+		s.graphs[spec.Name] = h
+		s.names = append(s.names, spec.Name)
+	}
+	if cfg.SnapshotDir != "" && cfg.SnapshotInterval > 0 {
+		s.snapWG.Add(1)
+		go s.snapshotLoop()
+	}
+	return s, nil
+}
+
+// Engine returns the engine serving the named graph, for warming and
+// introspection.
+func (s *Server) Engine(name string) (*dccs.Engine, bool) {
+	h, ok := s.graphs[name]
+	if !ok {
+		return nil, false
+	}
+	return h.eng, true
+}
+
+// GraphNames returns the served graph names in registration order.
+func (s *Server) GraphNames() []string {
+	return append([]string(nil), s.names...)
+}
+
+func (s *Server) snapshotPath(name string) string {
+	return filepath.Join(s.cfg.SnapshotDir, name+".mlgs")
+}
+
+// snapshotLoop periodically persists every engine's artifacts.
+func (s *Server) snapshotLoop() {
+	defer s.snapWG.Done()
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.saveSnapshots()
+		case <-s.snapStop:
+			return
+		}
+	}
+}
+
+// saveSnapshots persists all engines; failures are logged, never fatal
+// (a serving process must not die because a disk filled up).
+func (s *Server) saveSnapshots() {
+	if s.cfg.SnapshotDir == "" {
+		return
+	}
+	if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
+		s.cfg.Logf("server: snapshot dir: %v", err)
+		return
+	}
+	for _, name := range s.names {
+		h := s.graphs[name]
+		path := s.snapshotPath(name)
+		if err := h.eng.SaveSnapshot(path); err != nil {
+			s.cfg.Logf("server: %s: snapshot save: %v", name, err)
+			continue
+		}
+		s.metrics.snapshotSaves.Add(1)
+		s.cfg.Logf("server: %s: snapshot saved to %s", name, path)
+	}
+}
+
+// Shutdown gracefully stops the server's query side: new searches are
+// rejected with 503, every in-flight search is cancelled — each returns
+// its valid partial result to its client, marked truncated — and
+// Shutdown waits (bounded by ctx) for those handlers to finish before
+// stopping the snapshot loop and persisting a final snapshot per graph.
+// The caller owns the http.Server and should call its Shutdown after
+// this one returns. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	already := s.draining.Swap(true)
+	s.drainMu.Unlock()
+	if already {
+		return nil
+	}
+	s.cancelQuery()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflightWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("server: shutdown: in-flight queries did not drain: %w", ctx.Err())
+	}
+
+	close(s.snapStop)
+	s.snapWG.Wait()
+	s.saveSnapshots()
+	return err
+}
+
+// beginRequest registers a search handler with the drain accounting,
+// returning false when the server is shutting down. The registration
+// happens under drainMu so it is atomic with respect to Shutdown's
+// drain flip: either the handler is counted before the flip (and
+// Shutdown waits for it) or it observes draining and never starts.
+func (s *Server) beginRequest() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inflightWG.Add(1)
+	return true
+}
+
+// errBusy signals admission rejection; the handler maps it to 429.
+var errBusy = errors.New("server: saturated: admission queue is full")
+
+// errDraining signals shutdown rejection; the handler maps it to 503.
+var errDraining = errors.New("server: shutting down")
+
+// acquire admits one computation: immediately when an inflight slot is
+// free, after queueing (bounded by QueueDepth) otherwise. ctx is the
+// computation context (server lifetime + request deadline, never a
+// client connection): it returns errBusy when the queue is full,
+// errDraining when the server shut down while waiting, or ctx.Err()
+// when the computation deadline expired in the queue.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.inflight.Add(1)
+		return nil
+	default:
+	}
+	// All slots busy: join the bounded queue. The increment is optimistic
+	// — two racing requests may both see the last queue seat — which can
+	// momentarily overshoot QueueDepth by the number of racers, never
+	// lose a rejection.
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.metrics.rejectedQueueFull.Add(1)
+		return errBusy
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		// ctx parents from the server lifetime context, so its Done
+		// covers both causes; disambiguate for the error and metrics.
+		if s.queryCtx.Err() != nil {
+			s.metrics.rejectedDraining.Add(1)
+			return errDraining
+		}
+		s.metrics.rejectedWaitTimeout.Add(1)
+		return ctx.Err()
+	}
+}
+
+// release returns an admission slot.
+func (s *Server) release() {
+	s.metrics.inflight.Add(-1)
+	<-s.sem
+}
+
+// Handler returns the server's HTTP routes:
+//
+//	POST /v1/search   answer one DCCS query (JSON in, JSON out)
+//	GET  /v1/graphs   list served graphs with stats and engine metrics
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /metrics     Prometheus text-format counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/search", s.handleSearch)
+	mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
