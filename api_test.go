@@ -1,6 +1,7 @@
 package dccs
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -75,19 +76,19 @@ func TestExactAndValidateAPI(t *testing.T) {
 
 func TestDynamicAPI(t *testing.T) {
 	dg := NewDynamicGraph(6, 2)
-	m, err := NewCoreMaintainer(dg, []int{0, 1}, 2)
+	m, err := NewCoreMaintainer(context.Background(), dg, []int{0, 1}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, layer := range []int{0, 1} {
-		m.AddEdge(layer, 0, 1)
-		m.AddEdge(layer, 1, 2)
-		m.AddEdge(layer, 0, 2)
+		m.AddEdge(context.Background(), layer, 0, 1)
+		m.AddEdge(context.Background(), layer, 1, 2)
+		m.AddEdge(context.Background(), layer, 0, 2)
 	}
 	if m.CoreSize() != 3 {
 		t.Fatalf("core = %d, want 3", m.CoreSize())
 	}
-	m.RemoveEdge(1, 0, 1)
+	m.RemoveEdge(context.Background(), 1, 0, 1)
 	if m.CoreSize() != 0 {
 		t.Fatalf("core = %d after breaking layer 1, want 0", m.CoreSize())
 	}

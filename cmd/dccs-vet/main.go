@@ -1,0 +1,48 @@
+// Command dccs-vet runs the project-invariant analyzer suite over the
+// repro module: determinism (detrange), cancellation (ctxloop), decoder
+// error contracts (errpanic), and binary-format width discipline
+// (leiowidth). It is a standalone multichecker — the loader type-checks
+// packages from source (stdlib included), so it needs no go/packages
+// driver, no build cache, and no network.
+//
+// Usage:
+//
+//	dccs-vet ./...
+//	dccs-vet ./internal/core ./internal/dynamic
+//
+// Exit status is 1 when any analyzer reports a finding, 2 on load
+// errors. Findings print one per line as file:line:col: message [name].
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/vet"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := vet.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dccs-vet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dccs-vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags := vet.Run(pkgs, analysis.All())
+	for _, d := range diags {
+		fmt.Printf("%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dccs-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -56,6 +56,7 @@
 package dccs
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -242,7 +243,10 @@ type DynamicGraph = dynamic.Graph
 
 // CoreMaintainer tracks the d-CC of a fixed layer subset while its
 // DynamicGraph changes, with exact incremental updates in both
-// directions.
+// directions. Updates take a context under the engine-wide cancellation
+// contract: a cancelled update still applies the graph mutation and
+// leaves a valid, Truncated-flagged core that Repair (or the next
+// update) makes exact again.
 type CoreMaintainer = dynamic.Maintainer
 
 // NewDynamicGraph returns an empty mutable multi-layer graph.
@@ -250,6 +254,6 @@ func NewDynamicGraph(n, layers int) *DynamicGraph { return dynamic.NewGraph(n, l
 
 // NewCoreMaintainer wraps a DynamicGraph and keeps the d-CC of the given
 // layer subset current; route all edge updates through the maintainer.
-func NewCoreMaintainer(g *DynamicGraph, layers []int, d int) (*CoreMaintainer, error) {
-	return dynamic.NewMaintainer(g, layers, d)
+func NewCoreMaintainer(ctx context.Context, g *DynamicGraph, layers []int, d int) (*CoreMaintainer, error) {
+	return dynamic.NewMaintainer(ctx, g, layers, d)
 }

@@ -1,6 +1,7 @@
 package dccs_test
 
 import (
+	"context"
 	"fmt"
 
 	dccs "repro"
@@ -46,16 +47,16 @@ func ExampleCoherentCore() {
 // ExampleCoreMaintainer tracks a coherent core while edges stream in.
 func ExampleCoreMaintainer() {
 	g := dccs.NewDynamicGraph(4, 1)
-	m, err := dccs.NewCoreMaintainer(g, []int{0}, 2)
+	m, err := dccs.NewCoreMaintainer(context.Background(), g, []int{0}, 2)
 	if err != nil {
 		panic(err)
 	}
-	m.AddEdge(0, 0, 1)
-	m.AddEdge(0, 1, 2)
+	m.AddEdge(context.Background(), 0, 0, 1)
+	m.AddEdge(context.Background(), 0, 1, 2)
 	fmt.Println("path:", m.CoreSize())
-	m.AddEdge(0, 0, 2)
+	m.AddEdge(context.Background(), 0, 0, 2)
 	fmt.Println("triangle:", m.CoreSize())
-	m.RemoveEdge(0, 0, 1)
+	m.RemoveEdge(context.Background(), 0, 0, 1)
 	fmt.Println("broken:", m.CoreSize())
 	// Output:
 	// path: 0

@@ -70,7 +70,7 @@ func main() {
 	}
 
 	// The quasi-clique baseline (γ = 0.8, d′ = d+1, same support).
-	qc, err := mimag.Mine(g, mimag.Options{Gamma: 0.8, MinSize: d + 1, S: s, NodeLimit: 3_000_000})
+	qc, err := mimag.Mine(context.Background(), g, mimag.Options{Gamma: 0.8, MinSize: d + 1, S: s, NodeLimit: 3_000_000})
 	if err != nil {
 		log.Fatal(err)
 	}

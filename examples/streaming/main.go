@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -30,7 +31,7 @@ const (
 
 func main() {
 	g := dccs.NewDynamicGraph(entities, layers)
-	m, err := dccs.NewCoreMaintainer(g, []int{0, 1, 2}, d)
+	m, err := dccs.NewCoreMaintainer(context.Background(), g, []int{0, 1, 2}, d)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func main() {
 	for i := 0; i < 2000; i++ {
 		u, v := rng.Intn(entities), rng.Intn(entities)
 		if u != v {
-			m.AddEdge(rng.Intn(layers), u, v)
+			m.AddEdge(context.Background(), rng.Intn(layers), u, v)
 		}
 	}
 	fmt.Printf("background only: core size %d\n", m.CoreSize())
@@ -54,7 +55,7 @@ func main() {
 	for i := 0; i < len(story); i++ {
 		for j := i + 1; j < len(story); j++ {
 			for layer := 0; layer < layers; layer++ {
-				m.AddEdge(layer, story[i], story[j])
+				m.AddEdge(context.Background(), layer, story[i], story[j])
 			}
 			added++
 			if tracked := storyMembers(m, story); tracked == len(story) {
@@ -73,7 +74,7 @@ func main() {
 	fmt.Println("\nstory dissolving on snapshot 2:")
 	for i := 0; i < len(story); i++ {
 		for j := i + 1; j < len(story); j++ {
-			m.RemoveEdge(2, story[i], story[j])
+			m.RemoveEdge(context.Background(), 2, story[i], story[j])
 		}
 		fmt.Printf("  entity %d disconnected on snapshot 2: %d/%d tracked, core size %d\n",
 			story[i], storyMembers(m, story), len(story), m.CoreSize())

@@ -1,0 +1,311 @@
+// Package ctxloop enforces the PR 2 cancellation contract: every
+// algorithm loop whose trip count is input-dependent must observe its
+// query context, so cancellation and deadlines always yield a valid
+// partial result instead of unbounded CPU burn.
+//
+// In the scoped algorithm packages the analyzer flags two shapes:
+//
+//   - worklist loops — `for {}`, `for cond {}` where cond keeps a
+//     collection non-empty (len(x) > 0, len(x) != 0, x.Count() > 0):
+//     drain-style peels and cascades whose body typically refills the
+//     worklist, so no static bound exists;
+//   - directly recursive functions — set-enumeration and search-tree
+//     walkers whose depth is input-dependent.
+//
+// A flagged site is cleared by polling the context inside the loop body
+// (or recursive function body): calling Err or Done on a context.Context
+// value directly, or calling any function in the same package that
+// transitively does (e.g. core's prep.interrupted). Polling may be
+// strided behind a counter; only presence is checked. Loops with a
+// growth-bounded condition (i < len(xs)) or over non-collection scalars
+// (mask != 0) are intentionally out of shape: they terminate structurally.
+//
+// Two messages distinguish the failure modes: a loop that never polls an
+// available context is a missed check, while a loop in a function with no
+// context.Context in scope at all means the surrounding API has not
+// adopted the cancellation contract yet (what internal/mimag and
+// internal/dynamic looked like before they accepted a ctx).
+package ctxloop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/vet"
+)
+
+// Analyzer is the ctxloop analyzer.
+var Analyzer = &vet.Analyzer{
+	Name: "ctxloop",
+	Doc:  "flags unbounded algorithm loops that never poll their context",
+	Run:  run,
+}
+
+// Scope: the algorithm packages bound by the PR 2 contract. kcore peels
+// are O(m) preprocessing shared across queries and are excluded by
+// design (cancelling a half-built shared artifact would poison the
+// cache for every later query).
+var Scope = vet.ProjectScope(
+	"repro/internal/core",
+	"repro/internal/mimag",
+	"repro/internal/dynamic",
+)
+
+func run(pass *vet.Pass) error {
+	if !Scope(pass.Pkg.Path()) {
+		return nil
+	}
+	polls := pollingFuncs(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, polls)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *vet.Pass, fn *ast.FuncDecl, polls map[*types.Func]bool) {
+	hasCtx := funcHasContext(pass, fn)
+	report := func(pos token.Pos, what string) {
+		if hasCtx {
+			pass.Reportf(pos, "%s never polls the context; call ctx.Err (or a helper that does) so cancellation yields a valid partial result", what)
+		} else {
+			pass.Reportf(pos, "%s cannot observe cancellation: %s has no context.Context in scope; accept a ctx and poll it (PR 2 contract)", what, fn.Name.Name)
+		}
+	}
+
+	if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok && isRecursive(pass, fn, obj) && !pollsIn(pass, fn.Body, polls) {
+		report(fn.Pos(), "recursive search function "+fn.Name.Name)
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || !worklistShaped(pass, loop) {
+			return true
+		}
+		if !pollsIn(pass, loop.Body, polls) {
+			report(loop.Pos(), "worklist loop")
+		}
+		return true
+	})
+}
+
+// worklistShaped reports whether the loop is a drain-style worklist:
+// condition-only (no init/post) and either infinite or conditioned on a
+// collection staying non-empty.
+func worklistShaped(pass *vet.Pass, loop *ast.ForStmt) bool {
+	if loop.Init != nil || loop.Post != nil {
+		return false
+	}
+	if loop.Cond == nil {
+		return true // for {}
+	}
+	bin, ok := ast.Unparen(loop.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	size, lit := bin.X, bin.Y
+	op := bin.Op
+	if isIntLiteral(pass, size) {
+		size, lit = bin.Y, bin.X
+		op = flip(op)
+	}
+	if !isIntLiteral(pass, lit) {
+		return false
+	}
+	// Draining comparisons only: len(q) > 0 stays true while the body
+	// refills q. Growth-bounded conditions (i < len(xs), len(L) < s)
+	// terminate structurally and are exempt.
+	if op != token.GTR && op != token.GEQ && op != token.NEQ {
+		return false
+	}
+	return isCollectionSize(pass, size)
+}
+
+func flip(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+func isIntLiteral(pass *vet.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isCollectionSize matches len(x) and x.Count().
+func isCollectionSize(pass *vet.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		_, isBuiltin := pass.Info.Uses[fun].(*types.Builtin)
+		return isBuiltin && fun.Name == "len"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Count" || fun.Sel.Name == "Len"
+	}
+	return false
+}
+
+// pollingFuncs computes which package-level functions (transitively)
+// poll a context, via a fixpoint over the intra-package call graph.
+func pollingFuncs(pass *vet.Pass) map[*types.Func]bool {
+	bodies := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+				bodies[obj] = fn
+			}
+		}
+	}
+	polls := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for obj, fn := range bodies {
+			if polls[obj] {
+				continue
+			}
+			found := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if directPoll(pass, n) {
+					found = true
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := vet.FuncFor(pass.Info, call); callee != nil && polls[callee] {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				polls[obj] = true
+				changed = true
+			}
+		}
+	}
+	return polls
+}
+
+// directPoll matches ctx.Err() / ctx.Done() on a context.Context value.
+func directPoll(pass *vet.Pass, n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	return t != nil && vet.IsContextType(t)
+}
+
+// pollsIn reports whether body contains a direct poll or a call to a
+// (transitively) polling intra-package function.
+func pollsIn(pass *vet.Pass, body ast.Node, polls map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if directPoll(pass, n) {
+			found = true
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := vet.FuncFor(pass.Info, call); callee != nil && polls[callee] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isRecursive reports whether fn's body calls fn itself.
+func isRecursive(pass *vet.Pass, fn *ast.FuncDecl, obj *types.Func) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && vet.FuncFor(pass.Info, call) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// funcHasContext reports whether fn has a context.Context in scope: a
+// parameter, a receiver field, or any expression of that type in the
+// body (covers contexts stored on per-query state like core's prep).
+func funcHasContext(pass *vet.Pass, fn *ast.FuncDecl) bool {
+	if sig, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+		s := sig.Type().(*types.Signature)
+		for i := 0; i < s.Params().Len(); i++ {
+			if vet.IsContextType(s.Params().At(i).Type()) {
+				return true
+			}
+		}
+		if recv := s.Recv(); recv != nil && structHasContextField(recv.Type()) {
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if t := pass.TypeOf(e); t != nil && vet.IsContextType(t) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func structHasContextField(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if vet.IsContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

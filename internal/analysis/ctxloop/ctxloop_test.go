@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/vettest"
+)
+
+func TestCtxloop(t *testing.T) {
+	vettest.Run(t, "testdata", ctxloop.Analyzer, "ctxbad", "ctxclean", "ctxloop_exempt")
+}

@@ -1,0 +1,62 @@
+// Package ctxbad holds cancellation-contract violations ctxloop must
+// flag: the pre-fix internal/dynamic cascade-peel shape (no ctx in the
+// API at all) and the pre-fix internal/mimag set-enumeration shape (a
+// recursive search that never polls).
+package ctxbad
+
+import "context"
+
+type maintainer struct {
+	deg []int
+}
+
+// peel reproduces the pre-fix dynamic.Maintainer.peel: a cascade
+// worklist with no context anywhere in the API.
+func (m *maintainer) peel(queue []int32) {
+	for len(queue) > 0 { // want `cannot observe cancellation`
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if m.deg[v] < 2 {
+			queue = append(queue, v)
+		}
+	}
+}
+
+// drainIgnoringCtx has a ctx in scope but never consults it.
+func drainIgnoringCtx(ctx context.Context, stack []int) int {
+	n := 0
+	for len(stack) > 0 { // want `never polls the context`
+		stack = stack[:len(stack)-1]
+		n++
+	}
+	return n
+}
+
+// spin is the degenerate infinite form.
+func spin(ctx context.Context, ch chan int) {
+	for { // want `never polls the context`
+		select {
+		case <-ch:
+		default:
+		}
+	}
+}
+
+type miner struct {
+	nodes, limit int
+	out          []int32
+}
+
+// enumerate reproduces the pre-fix mimag set-enumeration walker: a
+// directly recursive search bounded only by a node budget, with no
+// context in the package API.
+func (m *miner) enumerate(q, cand []int32) { // want `recursive search function enumerate cannot observe cancellation`
+	m.nodes++
+	if m.nodes >= m.limit {
+		return
+	}
+	for idx, v := range cand {
+		q2 := append(append([]int32(nil), q...), v)
+		m.enumerate(q2, cand[idx+1:])
+	}
+}

@@ -1,0 +1,89 @@
+// Package ctxclean holds loops ctxloop must accept: polled worklists
+// (directly or through an intra-package helper, optionally strided),
+// growth-bounded loops, and scalar-draining loops.
+package ctxclean
+
+import "context"
+
+type search struct {
+	ctx   context.Context
+	nodes int
+}
+
+// interrupted is the core-style helper: the poll lives behind a method
+// on per-query state, and the fixpoint over the call graph credits it.
+func (s *search) interrupted() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
+// drainPolledDirect polls the context on every iteration.
+func drainPolledDirect(ctx context.Context, queue []int) int {
+	n := 0
+	for len(queue) > 0 {
+		if ctx.Err() != nil {
+			return n
+		}
+		queue = queue[:len(queue)-1]
+		n++
+	}
+	return n
+}
+
+// drainPolledViaHelper polls through the helper, strided behind a
+// counter like the hot cascade loops do.
+func (s *search) drainPolledViaHelper(queue []int32) {
+	steps := 0
+	for len(queue) > 0 {
+		if steps++; steps&255 == 0 && s.interrupted() {
+			return
+		}
+		queue = queue[:len(queue)-1]
+	}
+}
+
+// enumerate is a recursive walker that polls: the mimag shape after the
+// fix.
+func (s *search) enumerate(q, cand []int32) {
+	if s.interrupted() {
+		return
+	}
+	s.nodes++
+	for idx, v := range cand {
+		q2 := append(append([]int32(nil), q...), v)
+		s.enumerate(q2, cand[idx+1:])
+	}
+}
+
+// growToBound is growth-bounded (len < s), the InitTopK layer-growing
+// shape: it terminates structurally and needs no poll.
+func growToBound(layers []int, s int) []int {
+	for len(layers) < s {
+		layers = append(layers, len(layers))
+	}
+	return layers
+}
+
+// scanBounded is an index walk (i < len), the isSubset shape.
+func scanBounded(small, big []int32) bool {
+	i := 0
+	for _, v := range small {
+		for i < len(big) && big[i] < v {
+			i++
+		}
+		if i == len(big) || big[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// popBits drains a scalar mask, not a collection: sixty-four iterations
+// at most, no poll required.
+func popBits(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		mask &= mask - 1
+		n++
+	}
+	return n
+}

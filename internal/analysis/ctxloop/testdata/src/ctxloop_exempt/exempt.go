@@ -1,0 +1,10 @@
+// Package ctxloop_exempt models an out-of-scope package (the kcore
+// preprocessing peels): shared-artifact builds are excluded from the
+// query-cancellation contract by design.
+package ctxloop_exempt
+
+func peel(queue []int) {
+	for len(queue) > 0 {
+		queue = queue[:len(queue)-1]
+	}
+}

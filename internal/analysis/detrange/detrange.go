@@ -1,0 +1,209 @@
+// Package detrange enforces the repo's determinism contract: results,
+// serialized artifacts, and scraped metrics must be byte-identical across
+// runs (and across the serial and parallel engines, PR 1). Go randomizes
+// map iteration order, so a raw `range` over a map anywhere on a
+// result-producing path is a latent nondeterminism bug even when today's
+// callers happen to sort later.
+//
+// The analyzer flags every range-over-map in the scoped packages unless
+// the loop is one of the two order-insensitive shapes:
+//
+//   - collect-then-sort: the body only appends keys/values to slices, and
+//     every such slice is passed to a sort call (sort.* or slices.Sort*)
+//     later in the same function — the canonical sorted-keys idiom;
+//   - commutative accumulation: the body only updates counters with
+//     order-insensitive operators (x++, x--, x += e, x |= e) or folds
+//     min/max, optionally wrapped in if/else.
+//
+// Anything else — emitting, sending, calling out, or even ranging with an
+// empty body that gates on first-iteration state — must iterate a sorted
+// key slice instead. The conditions inside allowed if-wrappers are assumed
+// side-effect free; that approximation is deliberate and documented.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/vet"
+)
+
+// Analyzer is the detrange analyzer.
+var Analyzer = &vet.Analyzer{
+	Name: "detrange",
+	Doc:  "flags nondeterministic map iteration in result-producing packages",
+	Run:  run,
+}
+
+// Scope limits the check to packages whose output feeds query results,
+// serialized artifacts, or scraped metrics. Packages outside it (bench
+// harnesses, dataset generators, CLIs that already sort their output) may
+// range maps freely.
+var Scope = vet.ProjectScope(
+	"repro",
+	"repro/internal/core",
+	"repro/internal/coverage",
+	"repro/internal/mimag",
+	"repro/internal/dynamic",
+	"repro/internal/server",
+)
+
+func run(pass *vet.Pass) error {
+	if !Scope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFunc(pass, fn.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *vet.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		c := &checker{pass: pass}
+		if !c.orderInsensitive(rng.Body) {
+			pass.Reportf(rng.Pos(), "range over map %s has nondeterministic iteration order; collect and sort the keys first (determinism contract)", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			return true
+		}
+		for _, target := range c.appendTargets {
+			if !sortedAfter(pass, body, rng, target) {
+				pass.Reportf(rng.Pos(), "map keys collected into %q are never sorted in this function; sort before use (determinism contract)", target.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checker validates a loop body against the order-insensitive grammar and
+// records the slices the loop appends to.
+type checker struct {
+	pass          *vet.Pass
+	appendTargets []types.Object
+}
+
+func (c *checker) orderInsensitive(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if !c.orderInsensitive(st) {
+				return false
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil && !c.orderInsensitive(s.Init) {
+			return false
+		}
+		if !c.orderInsensitive(s.Body) {
+			return false
+		}
+		return s.Else == nil || c.orderInsensitive(s.Else)
+	case *ast.IncDecStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	case *ast.AssignStmt:
+		return c.allowedAssign(s)
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *checker) allowedAssign(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative/associative folds over the values are fine; the
+		// operand expression is assumed side-effect free.
+		return true
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return false
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" || len(call.Args) < 2 {
+		return false
+	}
+	if _, isBuiltin := c.pass.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || c.objOf(first) == nil || c.objOf(first) != c.objOf(lhs) {
+		return false
+	}
+	c.appendTargets = append(c.appendTargets, c.objOf(lhs))
+	return true
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if o := c.pass.Info.Uses[id]; o != nil {
+		return o
+	}
+	return c.pass.Info.Defs[id]
+}
+
+// sortCalls maps the callables accepted as "sorts the collected keys".
+var sortCalls = map[string]bool{
+	"sort.Ints": true, "sort.Strings": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+// sortedAfter reports whether target is the first argument of a
+// recognized sort call positioned after the range statement in the same
+// function body.
+func sortedAfter(pass *vet.Pass, body *ast.BlockStmt, rng *ast.RangeStmt, target types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn := vet.FuncFor(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || !sortCalls[fn.Pkg().Path()+"."+fn.Name()] {
+			return true
+		}
+		arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if ok && pass.Info.Uses[arg] == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/vettest"
+)
+
+func TestDetrange(t *testing.T) {
+	vettest.Run(t, "testdata", detrange.Analyzer, "detbad", "detclean", "detrange_exempt")
+}

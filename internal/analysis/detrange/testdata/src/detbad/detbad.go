@@ -1,0 +1,41 @@
+// Package detbad holds determinism violations detrange must flag,
+// including the exact shape of the historical /metrics status-counter
+// emission (internal/server/metrics.go) before it collected and sorted
+// its keys.
+package detbad
+
+import "fmt"
+
+type promWriter struct{}
+
+func (p *promWriter) counter(name, labels string, v int64) {}
+
+// metricsEmit reproduces the unsorted /metrics pattern: emitting one
+// Prometheus sample per map entry straight out of map iteration, which
+// reorders the scrape between runs.
+func metricsEmit(p *promWriter, status map[int]int64) {
+	for c := range status { // want `nondeterministic iteration order`
+		p.counter("dccs_http_responses_total", fmt.Sprintf(`code="%d"`, c), status[c])
+	}
+}
+
+// collectWithoutSort gathers keys but never sorts them, so downstream
+// iteration stays nondeterministic.
+func collectWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sideEffectBody mixes an append with a call, which the safe-idiom
+// grammar rejects.
+func sideEffectBody(m map[int]bool) []int {
+	var ks []int
+	for k := range m { // want `nondeterministic iteration order`
+		ks = append(ks, k)
+		fmt.Println(k)
+	}
+	return ks
+}

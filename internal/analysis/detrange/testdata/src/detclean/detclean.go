@@ -1,0 +1,57 @@
+// Package detclean holds order-insensitive map iterations detrange must
+// accept, including the fixed /metrics shape (collect, sort.Ints, emit).
+package detclean
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+type promWriter struct{}
+
+func (p *promWriter) counter(name, labels string, v int64) {}
+
+// metricsEmitSorted is the fixed /metrics pattern: keys are collected,
+// sorted, and only then emitted, so the scrape is byte-stable.
+func metricsEmitSorted(p *promWriter, status map[int]int64) {
+	codes := make([]int, 0, len(status))
+	for c := range status {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		p.counter("dccs_http_responses_total", fmt.Sprintf(`code="%d"`, c), status[c])
+	}
+}
+
+// conditionalCollect mirrors core.Prepared.WriteSnapshot: a guarded
+// append followed by slices.Sort.
+func conditionalCollect(byD map[int]bool) []int {
+	ds := make([]int, 0, len(byD))
+	for d, done := range byD {
+		if done {
+			ds = append(ds, d)
+		}
+	}
+	slices.Sort(ds)
+	return ds
+}
+
+// countValues folds commutatively, so iteration order cannot show.
+func countValues(m map[string]int) (n int, total int) {
+	for _, v := range m {
+		n++
+		total += v
+	}
+	return n, total
+}
+
+// rangeOverSlice is not a map range at all.
+func rangeOverSlice(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

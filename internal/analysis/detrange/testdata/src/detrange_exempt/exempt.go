@@ -1,0 +1,12 @@
+// Package detrange_exempt models an out-of-scope package (a generator or
+// bench harness): raw map iteration is allowed because nothing here feeds
+// query results or serialized output.
+package detrange_exempt
+
+import "fmt"
+
+func dumpUnsorted(m map[int]string) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,188 @@
+// Package errpanic enforces the decoder fuzz contract: malformed or
+// adversarial input handed to a decoding entry point must come back as an
+// error, never a panic or a process exit. The .mlgb/.mlgs fuzz targets
+// pin this behavior down by sampling; this analyzer enforces the whole
+// class at CI time by refusing to let a panic be *reachable* from a
+// decoder at all.
+//
+// Entry points are exported functions and methods whose names start with
+// Decode, Read, Open, Restore, or Load — the surface CLIs and the server
+// feed untrusted bytes into. For each one the analyzer walks the
+// intra-package static call graph (closures included) and reports a
+// witness path when it reaches:
+//
+//   - a panic call, log.Fatal*/log.Panic*, or os.Exit;
+//   - a call to any Must*-named function, in this package or another
+//     module package — by repo convention Must* wrappers panic on error
+//     and exist for generators whose inputs are correct by construction,
+//     which untrusted input never is.
+//
+// The analysis is path-insensitive on purpose: "the validation makes the
+// panic unreachable" is exactly the reasoning that rots. Decode paths
+// must be built from error-returning constructors (the reason multilayer
+// grew newBuilderChecked next to the panicking NewBuilder). Cross-package
+// reachability other than the Must* convention is out of scope — callees
+// in other packages carry their own entry points. In the leio package
+// every exported function is an entry point: the package doc promises
+// its readers never panic on any input.
+package errpanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/vet"
+)
+
+// Analyzer is the errpanic analyzer.
+var Analyzer = &vet.Analyzer{
+	Name: "errpanic",
+	Doc:  "flags panics reachable from decoder entry points",
+	Run:  run,
+}
+
+var entryPrefixes = []string{"Decode", "Read", "Open", "Restore", "Load"}
+
+// allExportedScope: packages where every exported function is an entry
+// point because the package contract itself promises error-not-panic.
+var allExportedScope = vet.ProjectScope("repro/internal/leio")
+
+func isEntry(pkgPath, name string) bool {
+	if !ast.IsExported(name) {
+		return false
+	}
+	if allExportedScope(pkgPath) {
+		return true
+	}
+	for _, p := range entryPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+type funcInfo struct {
+	decl *ast.FuncDecl
+	// site is a panic source lexically inside the body ("" when none):
+	// panic(...), log.Fatal, os.Exit, or a Must* call.
+	site string
+	// callees are intra-package static call targets.
+	callees []*types.Func
+}
+
+func run(pass *vet.Pass) error {
+	infos := map[*types.Func]*funcInfo{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			infos[obj] = analyzeFunc(pass, fn)
+		}
+	}
+
+	// Fixpoint: via[F] = the callee through which F reaches a panic.
+	via := map[*types.Func]*types.Func{}
+	reaches := func(f *types.Func) bool {
+		info := infos[f]
+		return (info != nil && info.site != "") || via[f] != nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, info := range infos {
+			if reaches(obj) {
+				continue
+			}
+			for _, callee := range info.callees {
+				if reaches(callee) {
+					via[obj] = callee
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for obj, info := range infos {
+		if !isEntry(pass.Pkg.Path(), obj.Name()) || !reaches(obj) {
+			continue
+		}
+		path := []string{obj.Name()}
+		cur := obj
+		for via[cur] != nil {
+			cur = via[cur]
+			path = append(path, cur.Name())
+		}
+		site := "panic"
+		if fi := infos[cur]; fi != nil {
+			site = fi.site
+		}
+		pass.Reportf(info.decl.Name.Pos(),
+			"decoder entry %s can reach %s (via %s); malformed input must return an error, never panic (fuzz contract)",
+			obj.Name(), site, strings.Join(path, " → "))
+	}
+	return nil
+}
+
+func analyzeFunc(pass *vet.Pass, fn *ast.FuncDecl) *funcInfo {
+	info := &funcInfo{decl: fn}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Builtin panic.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				info.setSite("panic")
+				return true
+			}
+		}
+		callee := vet.FuncFor(pass.Info, call)
+		if callee == nil {
+			return true
+		}
+		name := callee.Name()
+		switch pkg := pkgPathOf(callee); {
+		case pkg == "log" && (strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")):
+			info.setSite("log." + name)
+		case pkg == "os" && name == "Exit":
+			info.setSite("os.Exit")
+		case strings.HasPrefix(name, "Must") && moduleLocal(pkg, pass.Pkg.Path()):
+			// Must* convention: panics on error. Restricted to module
+			// packages so stdlib Must* helpers fed compile-time constants
+			// (regexp.MustCompile and kin) stay out of scope.
+			info.setSite(name)
+		case pkg == pass.Pkg.Path():
+			info.callees = append(info.callees, callee)
+		}
+		return true
+	})
+	return info
+}
+
+func (i *funcInfo) setSite(s string) {
+	if i.site == "" {
+		i.site = s
+	}
+}
+
+func pkgPathOf(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// moduleLocal reports whether pkg is the analyzed package itself or
+// another package of this module.
+func moduleLocal(pkg, self string) bool {
+	return pkg == self || pkg == "repro" || strings.HasPrefix(pkg, "repro/")
+}

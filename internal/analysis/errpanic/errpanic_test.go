@@ -1,0 +1,12 @@
+package errpanic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/errpanic"
+	"repro/internal/analysis/vettest"
+)
+
+func TestErrpanic(t *testing.T) {
+	vettest.Run(t, "testdata", errpanic.Analyzer, "panicbad", "panicclean")
+}

@@ -1,0 +1,41 @@
+// Package panicbad holds decoder shapes errpanic must flag: entry
+// points (Decode*/Read*/Load*) from which a panic, log.Fatal, or Must*
+// wrapper is statically reachable. Helpers stay unexported so only the
+// intended entries trip the all-exported fixture rule.
+package panicbad
+
+import "log"
+
+type frame struct{ n int }
+
+func newFrame(n int) *frame {
+	if n < 0 {
+		panic("negative frame size")
+	}
+	return &frame{n: n}
+}
+
+func DecodeFrame(p []byte) *frame { // want `decoder entry DecodeFrame can reach panic`
+	if len(p) == 0 {
+		return nil
+	}
+	return newFrame(int(p[0]))
+}
+
+func ReadIndexFile(path string) []int { // want `decoder entry ReadIndexFile can reach log\.Fatalf`
+	if path == "" {
+		log.Fatalf("empty index path")
+	}
+	return nil
+}
+
+func MustParse(s string) int { // want `decoder entry MustParse can reach panic`
+	if s == "" {
+		panic("empty input")
+	}
+	return len(s)
+}
+
+func LoadTable(s string) int { // want `decoder entry LoadTable can reach MustParse`
+	return MustParse(s)
+}

@@ -1,0 +1,38 @@
+// Package panicclean holds decoder shapes errpanic must accept: entry
+// points built from error-returning constructors, and stdlib Must*
+// helpers fed compile-time constants (exempt from the Must* rule).
+package panicclean
+
+import (
+	"errors"
+	"regexp"
+)
+
+type frame struct{ n int }
+
+func newFrameChecked(n int) (*frame, error) {
+	if n < 0 {
+		return nil, errors.New("negative frame size")
+	}
+	return &frame{n: n}, nil
+}
+
+func DecodeFrame(p []byte) (*frame, error) {
+	if len(p) == 0 {
+		return nil, errors.New("short input")
+	}
+	return newFrameChecked(int(p[0]))
+}
+
+func DecodePattern(s string) ([]string, error) {
+	// Stdlib Must* on a constant pattern: out of scope by design.
+	re := regexp.MustCompile(`[a-z]+`)
+	return re.FindAllString(s, -1), nil
+}
+
+func ReadHeader(p []byte) (uint32, error) {
+	if len(p) < 4 {
+		return 0, errors.New("truncated header")
+	}
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24, nil
+}

@@ -1,0 +1,195 @@
+// Package leiowidth enforces the cross-platform layout contract of the
+// .mlgb/.mlgs binary formats: everything that crosses the serialization
+// boundary must have a fixed width. A platform-width int or uint written
+// on one machine and read on another silently shifts every later section
+// offset, which is exactly the class of corruption the 8-aligned
+// fixed-width leio section design exists to rule out.
+//
+// Three sinks are checked, module-wide:
+//
+//   - encoding/binary.Write and binary.Read calls whose data argument's
+//     type contains a platform-width int, uint, or uintptr anywhere in
+//     its structure (struct fields, slice/array elements, pointees);
+//   - unsafe.Slice reinterpret casts to a platform-width element type —
+//     the zero-copy section trick is only sound for fixed-width elements;
+//   - section-method signatures on the leio Writer/Reader themselves
+//     (and fixture look-alikes): a slice parameter or result with a
+//     platform-width element type would bake the host's word size into
+//     the format.
+//
+// Scalar int parameters (counts, offsets) are fine — they never reach
+// the wire without an explicit fixed-width conversion, which the type
+// checker already forces.
+package leiowidth
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/vet"
+)
+
+// Analyzer is the leiowidth analyzer.
+var Analyzer = &vet.Analyzer{
+	Name: "leiowidth",
+	Doc:  "flags platform-width types crossing the binary-format boundary",
+	Run:  run,
+}
+
+// sectionAPIScope marks packages whose Writer/Reader method signatures
+// are part of the on-disk format contract.
+var sectionAPIScope = vet.ProjectScope("repro/internal/leio")
+
+func run(pass *vet.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkBinaryCall(pass, call)
+				checkUnsafeSlice(pass, call)
+			}
+			if fn, ok := n.(*ast.FuncDecl); ok {
+				checkSectionMethod(pass, fn)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBinaryCall(pass *vet.Pass, call *ast.CallExpr) {
+	fn := vet.FuncFor(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+		return
+	}
+	if (fn.Name() != "Write" && fn.Name() != "Read") || len(call.Args) != 3 {
+		return
+	}
+	t := pass.TypeOf(call.Args[2])
+	if t == nil {
+		return
+	}
+	if bad := platformWidthIn(t, nil); bad != "" {
+		pass.Reportf(call.Args[2].Pos(), "binary.%s data contains platform-width %s; use a fixed-width type (.mlgb/.mlgs layout contract)", fn.Name(), bad)
+	}
+}
+
+func checkUnsafeSlice(pass *vet.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Slice" || len(call.Args) != 2 {
+		return
+	}
+	if pkg, ok := ast.Unparen(sel.X).(*ast.Ident); !ok || pkg.Name != "unsafe" {
+		return
+	}
+	t := pass.TypeOf(call.Args[0])
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return
+	}
+	if isPlatformWidth(ptr.Elem()) {
+		pass.Reportf(call.Pos(), "unsafe.Slice reinterprets memory as platform-width %s; zero-copy sections must use fixed-width elements", ptr.Elem())
+	}
+}
+
+func checkSectionMethod(pass *vet.Pass, fn *ast.FuncDecl) {
+	if !sectionAPIScope(pass.Pkg.Path()) {
+		return
+	}
+	if fn.Recv == nil || !fn.Name.IsExported() {
+		return
+	}
+	recv := recvTypeName(fn)
+	if recv != "Writer" && recv != "Reader" {
+		return
+	}
+	obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	check := func(tuple *types.Tuple, kind string) {
+		for i := 0; i < tuple.Len(); i++ {
+			t := tuple.At(i).Type()
+			elem, ok := sliceElem(t)
+			if !ok {
+				continue
+			}
+			if isPlatformWidth(elem) {
+				pass.Reportf(fn.Name.Pos(), "%s.%s %s []%s with platform-width elements; section types must be fixed-width (.mlgb/.mlgs layout contract)", recv, fn.Name.Name, kind, elem)
+			}
+		}
+	}
+	check(sig.Params(), "takes")
+	check(sig.Results(), "returns")
+}
+
+func recvTypeName(fn *ast.FuncDecl) string {
+	if len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func sliceElem(t types.Type) (types.Type, bool) {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem(), true
+	case *types.Array:
+		return u.Elem(), true
+	}
+	return nil, false
+}
+
+func isPlatformWidth(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int, types.Uint, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+// platformWidthIn walks a type's structure and returns a description of
+// the first platform-width component, or "".
+func platformWidthIn(t types.Type, seen []types.Type) string {
+	for _, s := range seen {
+		if types.Identical(s, t) {
+			return ""
+		}
+	}
+	seen = append(seen, t)
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if isPlatformWidth(t) {
+			return u.String()
+		}
+	case *types.Pointer:
+		return platformWidthIn(u.Elem(), seen)
+	case *types.Slice:
+		return platformWidthIn(u.Elem(), seen)
+	case *types.Array:
+		return platformWidthIn(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if bad := platformWidthIn(u.Field(i).Type(), seen); bad != "" {
+				name := u.Field(i).Name()
+				if strings.Contains(bad, "field") {
+					return bad
+				}
+				return bad + " (field " + name + ")"
+			}
+		}
+	}
+	return ""
+}

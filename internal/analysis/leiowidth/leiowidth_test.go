@@ -1,0 +1,12 @@
+package leiowidth_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/leiowidth"
+	"repro/internal/analysis/vettest"
+)
+
+func TestLeiowidth(t *testing.T) {
+	vettest.Run(t, "testdata", leiowidth.Analyzer, "widthbad", "leio", "widthclean")
+}

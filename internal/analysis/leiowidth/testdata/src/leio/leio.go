@@ -1,0 +1,44 @@
+// Package leio is a fixture look-alike of repro/internal/leio (the
+// single-segment fixture path puts it in the section-API scope): section
+// methods on Writer/Reader must use fixed-width element types.
+package leio
+
+import "encoding/binary"
+
+type Writer struct {
+	buf []byte
+}
+
+// I32s is a compliant section method: fixed-width elements.
+func (w *Writer) I32s(xs []int32) {
+	for _, x := range xs {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(x))
+		w.buf = append(w.buf, b[:]...)
+	}
+}
+
+// Ints bakes the host word size into the stream.
+func (w *Writer) Ints(xs []int) { // want `platform-width elements`
+	for _, x := range xs {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(x))
+		w.buf = append(w.buf, b[:]...)
+	}
+}
+
+type Reader struct {
+	buf []byte
+}
+
+// Counts returns a platform-width section.
+func (r *Reader) Counts(n int) []uint { // want `platform-width elements`
+	return make([]uint, n)
+}
+
+// Skip takes a scalar int count, which never reaches the wire: allowed.
+func (r *Reader) Skip(n int) {
+	if n <= len(r.buf) {
+		r.buf = r.buf[n:]
+	}
+}

@@ -1,0 +1,34 @@
+// Package widthbad holds binary-layout violations leiowidth must flag:
+// platform-width integers crossing the serialization boundary through
+// binary.Write/Read, and the unsafe.Slice zero-copy trick applied to a
+// platform-width element type.
+package widthbad
+
+import (
+	"encoding/binary"
+	"io"
+	"unsafe"
+)
+
+type header struct {
+	Magic uint32
+	N     int // platform-width: 4 bytes on 386, 8 on amd64
+}
+
+func writeHeader(w io.Writer, h header) error {
+	return binary.Write(w, binary.LittleEndian, h) // want `platform-width int`
+}
+
+func writeCounts(w io.Writer, counts []uint) error {
+	return binary.Write(w, binary.LittleEndian, counts) // want `platform-width uint`
+}
+
+func readPointer(r io.Reader) (uintptr, error) {
+	var p uintptr
+	err := binary.Read(r, binary.LittleEndian, &p) // want `platform-width uintptr`
+	return p, err
+}
+
+func aliasInts(p []byte) []int {
+	return unsafe.Slice((*int)(unsafe.Pointer(unsafe.SliceData(p))), len(p)/8) // want `platform-width int`
+}

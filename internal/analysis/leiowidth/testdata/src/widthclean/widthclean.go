@@ -1,0 +1,34 @@
+// Package widthclean holds fixed-width serialization shapes leiowidth
+// must accept, mirroring the real leio call sites.
+package widthclean
+
+import (
+	"encoding/binary"
+	"io"
+	"unsafe"
+)
+
+type header struct {
+	Magic   uint32
+	Version uint32
+	N       int64
+}
+
+func writeHeader(w io.Writer, h header) error {
+	return binary.Write(w, binary.LittleEndian, h)
+}
+
+func readSection(r io.Reader, xs []int32) error {
+	return binary.Read(r, binary.LittleEndian, xs)
+}
+
+// aliasInt32s is the real zero-copy section read: fixed-width elements.
+func aliasInt32s(p []byte) []int32 {
+	return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(p))), len(p)/4)
+}
+
+// lengths never cross the wire unconverted; explicit conversions to
+// fixed-width types are the sanctioned path.
+func writeLen(w io.Writer, xs []int32) error {
+	return binary.Write(w, binary.LittleEndian, int64(len(xs)))
+}

@@ -1,0 +1,30 @@
+// Package analysis aggregates the project-invariant analyzers enforced
+// by cmd/dccs-vet. Each analyzer mechanizes a contract the test suite
+// can only sample:
+//
+//   - detrange: result-producing packages never leak map iteration order
+//   - ctxloop: unbounded algorithm loops observe context cancellation
+//   - errpanic: decoder entry points return errors, never panic
+//   - leiowidth: platform-width integers never cross the wire
+//
+// The suite ships enabled and green: CI runs dccs-vet over ./... and
+// fails on any finding, with zero suppressions in non-test code.
+package analysis
+
+import (
+	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/detrange"
+	"repro/internal/analysis/errpanic"
+	"repro/internal/analysis/leiowidth"
+	"repro/internal/analysis/vet"
+)
+
+// All returns every analyzer in the dccs-vet suite, in report order.
+func All() []*vet.Analyzer {
+	return []*vet.Analyzer{
+		detrange.Analyzer,
+		ctxloop.Analyzer,
+		errpanic.Analyzer,
+		leiowidth.Analyzer,
+	}
+}

@@ -1,0 +1,33 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/vet"
+)
+
+// TestSuiteCleanOnModule runs every dccs-vet analyzer over the whole
+// module, pinning the "lands enabled and green" contract: zero findings,
+// with no suppressions anywhere in non-test code. This is the same load
+// path cmd/dccs-vet uses in CI. Skipped in -short mode — type-checking
+// the module plus its stdlib imports from source takes a few seconds.
+func TestSuiteCleanOnModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; run without -short")
+	}
+	loader, err := vet.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, d := range vet.Run(pkgs, analysis.All()) {
+		t.Errorf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+	}
+}

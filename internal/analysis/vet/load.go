@@ -1,0 +1,277 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of the enclosing module (plus
+// optional fixture roots) without external tooling. Imports resolve in
+// three tiers: module-internal paths from the module directory, fixture
+// paths from the fixture roots, and everything else through the stdlib
+// source importer (which type-checks GOROOT source, so the loader works
+// with no module cache and no network).
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+	// FixtureRoots are directories whose immediate subtrees are package
+	// directories addressed by relative import paths (the analysistest
+	// testdata/src convention).
+	FixtureRoots []string
+
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	cache map[string]*loadResult
+}
+
+type loadResult struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader returns a Loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleDir:  modDir,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:      map[string]*loadResult{},
+	}, nil
+}
+
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("vet: %s/go.mod has no module directive", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("vet: no go.mod above %s", dir)
+		}
+	}
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module and fixture paths are
+// loaded from source here; everything else delegates to the stdlib
+// source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if dir, ok := l.dirFor(path); ok {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}
+
+func (l *Loader) dirFor(path string) (string, bool) {
+	if path == l.ModulePath {
+		return l.ModuleDir, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), true
+	}
+	for _, root := range l.FixtureRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// Load type-checks the package with the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("vet: package %q is neither module-internal nor a fixture", path)
+	}
+	return l.load(path, dir)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if res, ok := l.cache[path]; ok {
+		return res.pkg, res.err
+	}
+	// Reserve the slot first so import cycles fail fast instead of
+	// recursing forever.
+	l.cache[path] = &loadResult{err: fmt.Errorf("vet: import cycle through %q", path)}
+	pkg, err := l.loadUncached(path, dir)
+	l.cache[path] = &loadResult{pkg: pkg, err: err}
+	return pkg, err
+}
+
+func (l *Loader) loadUncached(path, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		// Non-test sources only: the analyzers enforce production
+		// contracts, and test files may intentionally exercise violations.
+		if e.IsDir() || !sourceFile(dir, name) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("vet: no non-test Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("vet: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadPatterns resolves CLI package patterns: "./..." walks every module
+// package; "./x" and "x/y" load one directory. Directories without
+// non-test Go files are skipped during walks and errors during explicit
+// loads.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	var pkgs []*Package
+	seen := map[string]bool{}
+	add := func(path string) error {
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		pkg, err := l.Load(path)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			paths, err := l.modulePackages()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				if err := add(p); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			rel := strings.TrimPrefix(pat, "./")
+			path := l.ModulePath
+			if rel != "" && rel != "." {
+				path = l.ModulePath + "/" + filepath.ToSlash(rel)
+			}
+			if err := add(path); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pkgs, nil
+}
+
+// sourceFile reports whether name is a non-test Go source file that the
+// default build context would include (build tags, GOOS/GOARCH suffixes
+// — the race_on.go/race_off.go pairs must not both load).
+func sourceFile(dir, name string) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
+}
+
+// modulePackages lists the import paths of every module directory that
+// contains non-test Go files, skipping testdata and hidden directories.
+func (l *Loader) modulePackages() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.ModuleDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModuleDir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && sourceFile(p, n) {
+				rel, err := filepath.Rel(l.ModuleDir, p)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					out = append(out, l.ModulePath)
+				} else {
+					out = append(out, l.ModulePath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}

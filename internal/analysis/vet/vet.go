@@ -1,0 +1,162 @@
+// Package vet is the project's static-analysis framework: a small,
+// dependency-free mirror of the golang.org/x/tools/go/analysis API shapes
+// (Analyzer, Pass, Diagnostic) plus a module-aware package loader built on
+// go/parser and go/types.
+//
+// The repo deliberately vendors nothing, so the real go/analysis driver
+// stack (multichecker, unitchecker, analysistest) is unavailable; this
+// package provides the same contract surface with stdlib only. Analyzers
+// written against it are one import away from the upstream API: a Pass
+// exposes the file set, syntax, type information and a Report callback,
+// and cmd/dccs-vet plays the multichecker role.
+//
+// The suite exists to mechanically enforce the repo's load-bearing
+// invariants — byte-identical deterministic results, context cancellation
+// with valid partials, and the fixed-width .mlgb/.mlgs binary layout —
+// instead of sampling them with tests. See DESIGN.md § Enforced
+// invariants for the catalog.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one project-invariant check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is the one-paragraph contract statement: which invariant the
+	// analyzer guards and what a diagnostic means.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information through an
+// Analyzer.Run invocation, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics sorted by file position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Pos:      token.Position{Filename: pkg.Path},
+					Message:  fmt.Sprintf("analyzer error: %v", err),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// ProjectScope returns a package-path predicate for analyzers that only
+// apply to part of the module. A package is in scope when its import path
+// matches one of the listed paths, or when it is a single-segment test
+// fixture path (vettest fixtures live outside the module namespace);
+// fixture paths ending in "_exempt" model out-of-scope packages.
+func ProjectScope(paths ...string) func(string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(path string) bool {
+		if set[path] {
+			return true
+		}
+		if !strings.Contains(path, "/") && !strings.Contains(path, ".") {
+			return !strings.HasSuffix(path, "_exempt")
+		}
+		return false
+	}
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// FuncFor resolves the *types.Func a call expression invokes, or nil for
+// builtins, conversions, and dynamic calls through function values.
+func FuncFor(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

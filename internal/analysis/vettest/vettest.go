@@ -1,0 +1,116 @@
+// Package vettest runs vet analyzers over testdata fixtures and checks
+// their diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract:
+//
+//	m := map[int]int{}
+//	for k := range m { // want `nondeterministic`
+//		use(k)
+//	}
+//
+// A want comment holds one double- or back-quoted regular expression and
+// asserts that the analyzer reports exactly one diagnostic on that line
+// matching it. Lines without a want comment must produce no diagnostics,
+// and every want must be consumed; both directions failing keeps the
+// fixtures honest (a silently dead analyzer cannot pass its own tests).
+//
+// Fixture packages live under testdata/src/<path> and may import both
+// stdlib and module-internal packages (the loader resolves all three
+// namespaces), so a fixture can call the real repro/internal/leio API.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/vet"
+)
+
+var wantRe = regexp.MustCompile("// want (`([^`]*)`|\"([^\"]*)\")")
+
+type want struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package from dir (an analysistest-style testdata
+// directory containing src/<path>), applies the analyzer, and reports any
+// mismatch between diagnostics and // want comments as test errors.
+func Run(t *testing.T, dir string, a *vet.Analyzer, paths ...string) {
+	t.Helper()
+	loader, err := vet.NewLoader(".")
+	if err != nil {
+		t.Fatalf("vettest: %v", err)
+	}
+	loader.FixtureRoots = []string{dir + "/src"}
+
+	var pkgs []*vet.Package
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("vettest: loading fixture %q: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ws, err := collectWants(pkg.Fset, f)
+			if err != nil {
+				t.Fatalf("vettest: %v", err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, d := range vet.Run(pkgs, []*vet.Analyzer{a}) {
+		if !claim(wants, d) {
+			t.Errorf("vettest: unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("vettest: %s: no diagnostic matching %q", w.pos, w.re)
+		}
+	}
+}
+
+func claim(wants []*want, d vet.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.pos.Filename == d.Pos.Filename && w.pos.Line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(fset *token.FileSet, f *ast.File) ([]*want, error) {
+	var out []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, "// want ") {
+				continue
+			}
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				return nil, fmt.Errorf("%s: malformed want comment %q", fset.Position(c.Pos()), c.Text)
+			}
+			pat := m[2]
+			if pat == "" {
+				pat = m[3]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad want pattern: %v", fset.Position(c.Pos()), err)
+			}
+			out = append(out, &want{pos: fset.Position(c.Pos()), re: re})
+		}
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -66,7 +67,7 @@ func (s *Suite) runComparison(ds *datasets.Dataset, d int) (bu *core.Result, qc 
 	}
 	bu = mustRun(core.BottomUpDCCS, g, core.Options{D: d, S: sup, K: defaultK, Seed: s.Seed})
 	var err error
-	qc, err = mimag.Mine(g, mimag.Options{
+	qc, err = mimag.Mine(context.Background(), g, mimag.Options{
 		Gamma: 0.8, MinSize: d + 1, S: sup, NodeLimit: s.mimagLimit(),
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/bits"
 
 	"repro/internal/kcore"
@@ -61,7 +62,12 @@ type hierarchy struct {
 // beyond that — the top-down algorithm rejects such graphs before
 // touching either. The h, level and coreh arrays are always populated,
 // which is all the bottom-up and greedy paths consume.
-func buildHierarchy(g *multilayer.Graph, d int, coreness [][]int, unionAdj [][]int32, workers int) *hierarchy {
+//
+// The batch loop polls ctx between batches: a partial hierarchy is
+// never a valid artifact (levels above the abort point would be
+// missing), so cancellation returns nil and the caller must not cache
+// the result. A nil ctx runs to completion.
+func buildHierarchy(ctx context.Context, g *multilayer.Graph, d int, coreness [][]int, unionAdj [][]int32, workers int) *hierarchy {
 	n := g.N()
 	idx := &tdIndex{
 		h:     make([]int32, n),
@@ -104,6 +110,9 @@ func buildHierarchy(g *multilayer.Graph, d int, coreness [][]int, unionAdj [][]i
 	for h := 0; h <= g.L(); h++ {
 		curH = int32(h)
 		for {
+			if ctx != nil && ctx.Err() != nil {
+				return nil
+			}
 			// Collect the batch: all still-alive vertices whose current
 			// support is ≤ h.
 			var batch []int32

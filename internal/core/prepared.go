@@ -44,15 +44,17 @@ type Prepared struct {
 	hierarchyBuilds atomic.Int64
 }
 
-// dArtifact is the lazily built per-d cache slot. The once gate makes
-// concurrent first queries for the same d build the hierarchy exactly
-// once while distinct d values build independently. done flips after the
-// build completes, letting the snapshot writer enumerate finished
-// entries without blocking on (or triggering) in-flight builds.
+// dArtifact is the lazily built per-d cache slot. buildMu serializes
+// builds for the same d while distinct d values build independently; a
+// build aborted by query cancellation leaves hier nil so the next query
+// for that d retries, rather than caching a partial hierarchy behind a
+// spent sync.Once. done flips after a successful build, letting the
+// snapshot writer enumerate finished entries without blocking on (or
+// triggering) in-flight builds.
 type dArtifact struct {
-	once sync.Once
-	hier *hierarchy
-	done atomic.Bool
+	buildMu sync.Mutex
+	hier    *hierarchy
+	done    atomic.Bool
 }
 
 // PreparedCounters reports how often each artifact tier was actually
@@ -100,7 +102,7 @@ func (pr *Prepared) MaxCoreness() int {
 // hierarchy — so the first query for that d does not pay construction
 // latency.
 func (pr *Prepared) Prepare(d int) {
-	pr.hierarchyFor(d)
+	pr.hierarchyFor(context.Background(), d)
 }
 
 // layerCoreness returns the d-independent per-layer coreness arrays,
@@ -144,7 +146,12 @@ func (pr *Prepared) unionAdjacency() [][]int32 {
 // so the hierarchies are identical and one sentinel entry serves them
 // all. Distinct cache entries are thereby bounded by the graph's
 // structure, never by the (query-controlled) range of D values seen.
-func (pr *Prepared) hierarchyFor(d int) *hierarchy {
+//
+// The build itself honors ctx: cancellation mid-build returns nil and
+// caches nothing, so a cancelled first query never poisons the shared
+// slot — the next query for the same d simply rebuilds under its own
+// context.
+func (pr *Prepared) hierarchyFor(ctx context.Context, d int) *hierarchy {
 	coreness := pr.layerCoreness() // also resolves maxCoreness
 	if d > pr.maxCoreness+1 {
 		d = pr.maxCoreness + 1
@@ -160,11 +167,17 @@ func (pr *Prepared) hierarchyFor(d int) *hierarchy {
 		pr.byD[d] = a
 	}
 	pr.mu.Unlock()
-	a.once.Do(func() {
-		a.hier = buildHierarchy(pr.g, d, coreness, unionAdj, pr.workers)
+	a.buildMu.Lock()
+	defer a.buildMu.Unlock()
+	if a.hier == nil {
+		hr := buildHierarchy(ctx, pr.g, d, coreness, unionAdj, pr.workers)
+		if hr == nil {
+			return nil // cancelled mid-build; slot stays empty
+		}
+		a.hier = hr
 		pr.hierarchyBuilds.Add(1)
 		a.done.Store(true)
-	})
+	}
 	return a.hier
 }
 
@@ -176,7 +189,33 @@ func (pr *Prepared) hierarchyFor(d int) *hierarchy {
 // mutable state; the tdIndex is shared read-only.
 func (pr *Prepared) newPrep(ctx context.Context, opts Options) *prep {
 	g := pr.g
-	hr := pr.hierarchyFor(opts.D)
+	n := g.N()
+	hr := pr.hierarchyFor(ctx, opts.D)
+	if hr == nil {
+		// Cancelled during artifact construction. The valid partial here
+		// is the empty survivor set: every algorithm sees an empty search
+		// space (and re-checks interrupted() before expanding anything),
+		// so the query drains immediately with the truncated flags set.
+		p := &prep{
+			g:     g,
+			opts:  opts,
+			ctx:   ctx,
+			idx:   &tdIndex{h: make([]int32, n), level: make([]int32, n), lmask: make([]uint64, n)},
+			rng:   rand.New(rand.NewSource(opts.Seed)),
+			alive: bitset.New(n),
+		}
+		p.stats.truncated.Store(true)
+		p.stats.interrupted.Store(true)
+		p.cores = make([]*bitset.Set, g.L())
+		for i := range p.cores {
+			p.cores[i] = bitset.New(n)
+		}
+		p.order = make([]int, g.L())
+		for i := range p.order {
+			p.order[i] = i
+		}
+		return p
+	}
 	p := &prep{
 		g:    g,
 		opts: opts,
@@ -184,7 +223,6 @@ func (pr *Prepared) newPrep(ctx context.Context, opts Options) *prep {
 		idx:  hr.idx,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
 	}
-	n := g.N()
 	minH := int32(opts.S)
 	if opts.NoVertexDeletion {
 		// Fig 28's No-VD ablation: every vertex stays, the cores are the

@@ -154,11 +154,25 @@ func (t *tdSearch) refineC(u *bitset.Set, lpos []int) *bitset.Set {
 
 	members := z.Slice32()
 
+	// Cancellation: the cascade and flood loops poll the query context on
+	// a stride. On interruption the counters are abandoned mid-cascade, so
+	// the only valid partial is the empty set — returned below with the
+	// scratch state still reset for the next call (the truncated flags are
+	// set by interrupted() itself).
+	aborted := false
+	steps := 0
+
 	discard := func(v int) {
 		state[v] = stDiscarded
 		stack := t.scratchStack[:0]
 		stack = append(stack, int32(v))
 		for len(stack) > 0 {
+			if steps++; steps&4095 == 0 && p.interrupted() {
+				aborted = true
+			}
+			if aborted {
+				break
+			}
 			x := int(stack[len(stack)-1])
 			stack = stack[:len(stack)-1]
 			for i, ly := range layers {
@@ -198,6 +212,12 @@ func (t *tdSearch) refineC(u *bitset.Set, lpos []int) *bitset.Set {
 	// Flood: degree-test marked vertices and mark their unexplored scope
 	// neighbours; discards cascade through the counters as usual.
 	for len(queue) > 0 {
+		if steps++; steps&4095 == 0 && p.interrupted() {
+			aborted = true
+		}
+		if aborted {
+			break
+		}
 		v := int(queue[len(queue)-1])
 		queue = queue[:len(queue)-1]
 		if state[v] != stUndetermined {
@@ -221,6 +241,9 @@ func (t *tdSearch) refineC(u *bitset.Set, lpos []int) *bitset.Set {
 	// (Lemma 9); discarding them drains their support from the survivors
 	// so the final degree feasibility counts marked vertices only.
 	for _, v32 := range members {
+		if aborted {
+			break
+		}
 		if state[v32] == stUnexplored {
 			discard(int(v32))
 		}
@@ -230,7 +253,7 @@ func (t *tdSearch) refineC(u *bitset.Set, lpos []int) *bitset.Set {
 	// is enforced on every state transition and by the cascades).
 	out := bitset.New(g.N())
 	for _, v32 := range members {
-		if state[v32] == stUndetermined {
+		if !aborted && state[v32] == stUndetermined {
 			out.Add(int(v32))
 		}
 		state[v32] = stUnexplored // reset scratch for the next call

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -270,7 +271,7 @@ func TestIndexLemma8(t *testing.T) {
 		g := testutil.RandomCorrelatedGraph(rng, 8+rng.Intn(25), 2+rng.Intn(4), 0.3, 0.85, 0.08)
 		d := 1 + rng.Intn(3)
 		alive := bitset.NewFull(g.N())
-		idx := NewPrepared(g, 1).hierarchyFor(d).idx
+		idx := NewPrepared(g, 1).hierarchyFor(context.Background(), d).idx
 
 		// The index partitions all vertices.
 		seen := bitset.New(g.N())

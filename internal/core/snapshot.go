@@ -298,10 +298,8 @@ func (pr *Prepared) RestoreSnapshot(data []byte) error {
 			e.hier.idx.unionAdj = unionAdj
 		}
 		a := &dArtifact{}
-		a.once.Do(func() {
-			a.hier = e.hier
-			a.done.Store(true)
-		})
+		a.hier = e.hier
+		a.done.Store(true)
 		pr.byD[e.d] = a
 	}
 	return nil

@@ -11,10 +11,20 @@
 // plus that bounded candidate region. Both directions therefore keep the
 // core exactly equal to a from-scratch recomputation, which the property
 // tests assert after random update streams.
+//
+// Updates honor context cancellation under the engine-wide contract (PR
+// 2): every Maintainer operation polls its ctx inside the unbounded
+// cascade loops, and cancellation leaves a *valid* intermediate state —
+// for deletions a superset core with the remaining peel worklist
+// stashed, for insertions a pre-grow core marked for rebuild — reported
+// by Truncated and finished by Repair (or automatically by the next
+// update). A nil ctx runs every operation to completion.
 package dynamic
 
 import (
+	"context"
 	"fmt"
+	"slices"
 
 	"repro/internal/bitset"
 	"repro/internal/multilayer"
@@ -74,10 +84,20 @@ func (g *Graph) HasEdge(layer, u, v int) bool {
 // Degree returns the degree of v on the layer.
 func (g *Graph) Degree(layer, v int) int { return len(g.adj[layer][int32(v)]) }
 
-// Neighbors calls fn for each neighbor of v on the layer until fn returns
-// false. Iteration order is unspecified.
+// Neighbors calls fn for each neighbor of v on the layer, in ascending
+// vertex id, until fn returns false. The sort makes every traversal
+// built on it (cascade peels, region growth, Freeze) deterministic —
+// the adjacency sets are Go maps, whose raw iteration order would
+// otherwise leak into results (the determinism contract dccs-vet's
+// detrange analyzer enforces).
 func (g *Graph) Neighbors(layer, v int, fn func(u int) bool) {
-	for u := range g.adj[layer][int32(v)] {
+	set := g.adj[layer][int32(v)]
+	nbrs := make([]int32, 0, len(set))
+	for u := range set {
+		nbrs = append(nbrs, u)
+	}
+	slices.Sort(nbrs)
+	for _, u := range nbrs {
 		if !fn(int(u)) {
 			return
 		}
@@ -126,15 +146,18 @@ func (g *Graph) link(layer int, v, u int32) {
 }
 
 // Freeze converts the mutable graph into an immutable multilayer.Graph.
+// Edges are emitted in vertex order so the builder sees a deterministic
+// stream regardless of map layout.
 func (g *Graph) Freeze() *multilayer.Graph {
 	b := multilayer.NewBuilder(g.n, g.L())
 	for layer := range g.adj {
-		for v, nbrs := range g.adj[layer] {
-			for u := range nbrs {
+		for v := 0; v < g.n; v++ {
+			g.Neighbors(layer, v, func(u int) bool {
 				if u > v {
-					b.MustAddEdge(layer, int(v), int(u))
+					b.MustAddEdge(layer, v, u)
 				}
-			}
+				return true
+			})
 		}
 	}
 	return b.Build()
@@ -144,6 +167,17 @@ func (g *Graph) Freeze() *multilayer.Graph {
 // while the underlying Graph changes through it. All updates must go
 // through the maintainer's AddEdge/RemoveEdge; mutating the Graph
 // directly desynchronizes the core.
+//
+// Operations take a context and poll it inside their cascade loops.
+// Cancellation never corrupts the maintainer: the graph mutation is
+// always applied, and the core is left in a valid intermediate state
+// with Truncated reporting true — a superset core plus the stashed peel
+// worklist when a deletion cascade was cut short (resumed incrementally
+// by Repair), or the pre-insertion core marked insertDirty when an
+// insertion grow was cut short (Repair falls back to a full rebuild,
+// since the grow argument needs the previous core to be exact and
+// maximal). Every update drains the backlog before applying its own
+// incremental step.
 type Maintainer struct {
 	g      *Graph
 	layers []int
@@ -151,11 +185,15 @@ type Maintainer struct {
 	inL    []bool
 	core   *bitset.Set
 	deg    map[int][]int32 // layer -> degree of core members inside the core
+
+	pending     []int32 // peel worklist stashed by a cancelled cascade
+	insertDirty bool    // cancelled insertion grow: full rebuild required
 }
 
 // NewMaintainer wraps g and computes the initial d-CC of the given layer
-// subset.
-func NewMaintainer(g *Graph, layers []int, d int) (*Maintainer, error) {
+// subset. Cancelling ctx mid-initialization still returns a usable
+// maintainer with Truncated set; a nil ctx initializes to completion.
+func NewMaintainer(ctx context.Context, g *Graph, layers []int, d int) (*Maintainer, error) {
 	if g == nil {
 		return nil, fmt.Errorf("dynamic: nil graph")
 	}
@@ -185,21 +223,49 @@ func NewMaintainer(g *Graph, layers []int, d int) (*Maintainer, error) {
 	for _, layer := range layers {
 		m.deg[layer] = make([]int32, g.n)
 	}
-	m.rebuild()
+	m.rebuild(ctx)
 	return m, nil
 }
 
-// Core returns the current d-CC. The set is owned by the maintainer;
-// callers must not modify it.
+// Core returns the current d-CC (a superset of it while Truncated
+// reports true). The set is owned by the maintainer; callers must not
+// modify it.
 func (m *Maintainer) Core() *bitset.Set { return m.core }
 
 // CoreSize returns |C^d_L| under the current graph.
 func (m *Maintainer) CoreSize() int { return m.core.Count() }
 
-// rebuild recomputes the core from scratch (initialization).
-func (m *Maintainer) rebuild() {
+// Truncated reports whether a cancelled operation left the core stale:
+// either a peel cascade awaits resumption or a cancelled insertion grow
+// awaits a full rebuild. While true, Core is a superset of (deletion
+// backlog) or the pre-insertion value of (insertion backlog) the exact
+// core. Repair — or any subsequent update with an uncancelled context —
+// restores exactness.
+func (m *Maintainer) Truncated() bool {
+	return m.insertDirty || len(m.pending) > 0
+}
+
+// Repair finishes the maintenance a cancelled operation left behind:
+// stashed peel cascades resume incrementally; a cancelled insertion
+// grow triggers a full rebuild. It reports whether the core is exact on
+// return (false only when ctx itself is cancelled).
+func (m *Maintainer) Repair(ctx context.Context) bool {
+	if m.insertDirty {
+		m.rebuild(ctx)
+	} else if len(m.pending) > 0 {
+		m.pending = m.peel(ctx, m.pending)
+	}
+	return !m.Truncated()
+}
+
+// rebuild recomputes the core from scratch (initialization and
+// insertDirty repair). The rebuild itself is resumable: cancellation
+// stashes the remaining seed cascade in pending, which a later Repair
+// continues — the full-core seed peel is an ordinary cascade.
+func (m *Maintainer) rebuild(ctx context.Context) {
 	m.core = bitset.NewFull(m.g.n)
-	m.peel(m.seedAll())
+	m.insertDirty = false
+	m.pending = m.peel(ctx, m.seedAll())
 }
 
 // seedAll returns every current core vertex violating the threshold.
@@ -232,11 +298,18 @@ func (m *Maintainer) degIn(layer, v int) int32 {
 }
 
 // peel removes the queued vertices and cascades until the core is
-// d-dense on every watched layer again.
-func (m *Maintainer) peel(queue []int32) {
+// d-dense on every watched layer again, or ctx is cancelled. It returns
+// the unprocessed remainder of the worklist — nil on completion — which
+// the caller stashes in pending; the core/deg state stays consistent at
+// every pop, so a stashed worklist resumes exactly where it stopped.
+func (m *Maintainer) peel(ctx context.Context, queue []int32) []int32 {
 	// Deduplicate lazily: a vertex may be queued more than once; the
 	// core membership check on pop makes extra entries harmless.
+	steps := 0
 	for len(queue) > 0 {
+		if steps++; steps&255 == 0 && ctx != nil && ctx.Err() != nil {
+			return queue
+		}
 		v := int(queue[len(queue)-1])
 		queue = queue[:len(queue)-1]
 		if !m.core.Contains(v) {
@@ -265,20 +338,34 @@ func (m *Maintainer) peel(queue []int32) {
 			})
 		}
 	}
+	return nil
 }
 
 // RemoveEdge deletes {u, v} from the layer and shrinks the core by exact
-// cascade. It reports whether the edge existed.
-func (m *Maintainer) RemoveEdge(layer, u, v int) bool {
+// cascade. It reports whether the edge existed. Cancellation stashes the
+// remaining cascade (see Maintainer); the deletion itself always lands.
+func (m *Maintainer) RemoveEdge(ctx context.Context, layer, u, v int) bool {
+	if m.insertDirty {
+		// A cancelled grow already scheduled a full rebuild, which will
+		// see this deletion too; incremental bookkeeping would be unsound.
+		m.Repair(ctx)
+	}
 	if !m.g.RemoveEdge(layer, u, v) {
 		return false
 	}
-	if !m.inL[layer] || !m.core.Contains(u) || !m.core.Contains(v) {
-		return true // core unaffected
+	if !m.inL[layer] || m.insertDirty {
+		return true
 	}
-	m.deg[layer][u]--
-	m.deg[layer][v]--
-	m.peel([]int32{int32(u), int32(v)})
+	if m.core.Contains(u) && m.core.Contains(v) {
+		m.deg[layer][u]--
+		m.deg[layer][v]--
+		m.pending = append(m.pending, int32(u), int32(v))
+	}
+	// Drain the worklist — this deletion's seeds plus any backlog a
+	// cancelled predecessor stashed. A stale superset core with current
+	// deg counters is exactly a cascade in progress, so resuming here is
+	// sound: peel re-checks the violation on every pop.
+	m.pending = m.peel(ctx, m.pending)
 	return true
 }
 
@@ -287,11 +374,26 @@ func (m *Maintainer) RemoveEdge(layer, u, v int) bool {
 // endpoints through non-core vertices on watched layers (otherwise the
 // old core was not maximal), so it suffices to peel the old core plus
 // that candidate region. It reports whether the edge was new.
-func (m *Maintainer) AddEdge(layer, u, v int) bool {
+// Cancellation before the grow commits marks the maintainer insertDirty
+// (full rebuild on Repair); cancellation during the final peel stashes
+// the cascade like a deletion would. The insertion itself always lands.
+func (m *Maintainer) AddEdge(ctx context.Context, layer, u, v int) bool {
+	if m.Truncated() {
+		// The grow argument needs the previous core exact and maximal;
+		// drain the backlog first.
+		m.Repair(ctx)
+	}
 	if !m.g.AddEdge(layer, u, v) {
 		return false
 	}
 	if !m.inL[layer] {
+		return true
+	}
+	if m.Truncated() {
+		// Backlog still unresolved (ctx is cancelled): the incremental
+		// grow below would start from a stale core, so fall back to a
+		// rebuild, deferred to Repair or the next update.
+		m.insertDirty = true
 		return true
 	}
 	if m.core.Contains(u) && m.core.Contains(v) {
@@ -300,7 +402,8 @@ func (m *Maintainer) AddEdge(layer, u, v int) bool {
 		return true
 	}
 	// Candidate region: BFS from the non-core endpoints over non-core
-	// vertices along watched layers.
+	// vertices along watched layers. The core is untouched until the BFS
+	// completes, so cancellation here only marks the grow as pending.
 	region := bitset.New(m.g.n)
 	var stack []int32
 	for _, w := range []int{u, v} {
@@ -308,7 +411,12 @@ func (m *Maintainer) AddEdge(layer, u, v int) bool {
 			stack = append(stack, int32(w))
 		}
 	}
+	steps := 0
 	for len(stack) > 0 {
+		if steps++; steps&255 == 0 && ctx != nil && ctx.Err() != nil {
+			m.insertDirty = true
+			return true
+		}
 		w := int(stack[len(stack)-1])
 		stack = stack[:len(stack)-1]
 		for _, ly := range m.layers {
@@ -356,6 +464,9 @@ func (m *Maintainer) AddEdge(layer, u, v int) bool {
 		}
 		return true
 	})
-	m.peel(queue)
+	// Cancellation from here on is an ordinary interrupted cascade: the
+	// enlarged core plus recomputed counters is a valid peel-in-progress
+	// state, resumed incrementally by Repair.
+	m.pending = m.peel(ctx, queue)
 	return true
 }

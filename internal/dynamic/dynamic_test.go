@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -81,34 +82,34 @@ func TestMaintainerValidation(t *testing.T) {
 		{nil, 1}, {[]int{0}, 0}, {[]int{5}, 1}, {[]int{0, 0}, 1},
 	}
 	for _, c := range cases {
-		if _, err := NewMaintainer(g, c.layers, c.d); err == nil {
+		if _, err := NewMaintainer(context.Background(), g, c.layers, c.d); err == nil {
 			t.Errorf("accepted layers=%v d=%d", c.layers, c.d)
 		}
 	}
-	if _, err := NewMaintainer(nil, []int{0}, 1); err == nil {
+	if _, err := NewMaintainer(context.Background(), nil, []int{0}, 1); err == nil {
 		t.Error("accepted nil graph")
 	}
 }
 
 func TestMaintainerTriangle(t *testing.T) {
 	g := NewGraph(4, 1)
-	m, err := NewMaintainer(g, []int{0}, 2)
+	m, err := NewMaintainer(context.Background(), g, []int{0}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.CoreSize() != 0 {
 		t.Fatal("empty graph has nonempty core")
 	}
-	m.AddEdge(0, 0, 1)
-	m.AddEdge(0, 1, 2)
+	m.AddEdge(context.Background(), 0, 0, 1)
+	m.AddEdge(context.Background(), 0, 1, 2)
 	if m.CoreSize() != 0 {
 		t.Fatal("path has nonempty 2-core")
 	}
-	m.AddEdge(0, 0, 2)
+	m.AddEdge(context.Background(), 0, 0, 2)
 	if got := m.Core().Slice(); len(got) != 3 {
 		t.Fatalf("triangle core = %v", got)
 	}
-	m.RemoveEdge(0, 0, 1)
+	m.RemoveEdge(context.Background(), 0, 0, 1)
 	if m.CoreSize() != 0 {
 		t.Fatal("core survived edge removal")
 	}
@@ -127,7 +128,7 @@ func TestMaintainerMatchesRecompute(t *testing.T) {
 		layers := testutil.RandomLayerSubset(rng, l, size)
 
 		g := NewGraph(n, l)
-		m, err := NewMaintainer(g, layers, d)
+		m, err := NewMaintainer(context.Background(), g, layers, d)
 		if err != nil {
 			return false
 		}
@@ -139,13 +140,13 @@ func TestMaintainerMatchesRecompute(t *testing.T) {
 				if u == v {
 					continue
 				}
-				if m.AddEdge(layer, u, v) {
+				if m.AddEdge(context.Background(), layer, u, v) {
 					present = append(present, edge{layer, u, v})
 				}
 			} else {
 				i := rng.Intn(len(present))
 				e := present[i]
-				if !m.RemoveEdge(e.layer, e.u, e.v) {
+				if !m.RemoveEdge(context.Background(), e.layer, e.u, e.v) {
 					return false
 				}
 				present[i] = present[len(present)-1]
@@ -171,16 +172,16 @@ func TestMaintainerMatchesRecompute(t *testing.T) {
 // pass through without touching the core.
 func TestMaintainerIgnoresUnwatchedLayers(t *testing.T) {
 	g := NewGraph(4, 2)
-	m, err := NewMaintainer(g, []int{0}, 2)
+	m, err := NewMaintainer(context.Background(), g, []int{0}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.AddEdge(0, 0, 1)
-	m.AddEdge(0, 1, 2)
-	m.AddEdge(0, 0, 2)
+	m.AddEdge(context.Background(), 0, 0, 1)
+	m.AddEdge(context.Background(), 0, 1, 2)
+	m.AddEdge(context.Background(), 0, 0, 2)
 	before := m.Core().Clone()
-	m.AddEdge(1, 0, 3)
-	m.RemoveEdge(1, 0, 3)
+	m.AddEdge(context.Background(), 1, 0, 3)
+	m.RemoveEdge(context.Background(), 1, 0, 3)
 	if !m.Core().Equal(before) {
 		t.Fatal("unwatched layer affected the core")
 	}
@@ -193,7 +194,7 @@ func TestMaintainerSlidingWindow(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	n, l, d := 60, 3, 3
 	g := NewGraph(n, l)
-	m, err := NewMaintainer(g, []int{0, 1, 2}, d)
+	m, err := NewMaintainer(context.Background(), g, []int{0, 1, 2}, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestMaintainerSlidingWindow(t *testing.T) {
 	for _, layer := range []int{0, 1, 2} {
 		for i := range group {
 			for j := i + 1; j < len(group); j++ {
-				m.AddEdge(layer, group[i], group[j])
+				m.AddEdge(context.Background(), layer, group[i], group[j])
 			}
 		}
 	}
@@ -212,9 +213,9 @@ func TestMaintainerSlidingWindow(t *testing.T) {
 			continue
 		}
 		if rng.Intn(2) == 0 {
-			m.AddEdge(layer, u, v)
+			m.AddEdge(context.Background(), layer, u, v)
 		} else if !contains(group, u) || !contains(group, v) {
-			m.RemoveEdge(layer, u, v)
+			m.RemoveEdge(context.Background(), layer, u, v)
 		}
 		for _, w := range group {
 			if !m.Core().Contains(w) {
@@ -231,4 +232,79 @@ func contains(xs []int, x int) bool {
 		}
 	}
 	return false
+}
+
+// TestMaintainerCancellation pins the cancellation contract: a cancelled
+// update still applies its graph mutation and leaves a valid truncated
+// state — a superset core with the cascade stashed for deletions, an
+// insert-dirty marker for insertions — and Repair restores exactness.
+func TestMaintainerCancellation(t *testing.T) {
+	const n = 2000
+	g := NewGraph(n, 1)
+	m, err := NewMaintainer(context.Background(), g, []int{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single n-cycle: the 2-core is the whole cycle, and removing one
+	// edge unravels it through a cascade of ~2n pops — far more than one
+	// poll stride, so a cancelled context reliably truncates it.
+	for i := 0; i < n; i++ {
+		m.AddEdge(context.Background(), 0, i, (i+1)%n)
+	}
+	if m.CoreSize() != n {
+		t.Fatalf("cycle core = %d, want %d", m.CoreSize(), n)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if !m.RemoveEdge(cancelled, 0, 0, 1) {
+		t.Fatal("cancelled RemoveEdge must still remove the edge")
+	}
+	if g.HasEdge(0, 0, 1) {
+		t.Fatal("edge survived cancelled RemoveEdge")
+	}
+	if !m.Truncated() {
+		t.Fatal("cancelled cascade not reported as truncated")
+	}
+	// Valid partial: the stale core is a superset of the exact core and
+	// never gained vertices.
+	if m.CoreSize() > n {
+		t.Fatal("truncated core grew")
+	}
+
+	// An insertion on a still-truncated maintainer under a cancelled
+	// context must fall back to the rebuild marker, not grow incrementally
+	// from the stale core.
+	if !m.AddEdge(cancelled, 0, 0, 1) {
+		t.Fatal("cancelled AddEdge must still insert the edge")
+	}
+	if !g.HasEdge(0, 0, 1) {
+		t.Fatal("edge missing after cancelled AddEdge")
+	}
+	if !m.Truncated() {
+		t.Fatal("maintainer lost its truncation marker")
+	}
+
+	// Repair under a live context restores the exact core: the cycle is
+	// whole again, so the 2-core is all of it.
+	if !m.Repair(context.Background()) {
+		t.Fatal("Repair reported failure under a live context")
+	}
+	if m.Truncated() {
+		t.Fatal("still truncated after Repair")
+	}
+	want := kcore.DCC(g.Freeze(), bitset.NewFull(n), []int{0}, 2)
+	if !m.Core().Equal(want) {
+		t.Fatalf("repaired core = %d vertices, want %d", m.CoreSize(), want.Count())
+	}
+
+	// And a cancelled initialization yields a usable, truncated handle.
+	m2, err := NewMaintainer(cancelled, g, []int{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Repair(context.Background()); !m2.Core().Equal(want) {
+		t.Fatal("maintainer from cancelled init did not repair to the exact core")
+	}
 }

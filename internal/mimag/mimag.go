@@ -18,6 +18,7 @@
 package mimag
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -63,8 +64,13 @@ type Result struct {
 	Raw int
 	// Nodes is the number of search-tree nodes expanded.
 	Nodes int
-	// Truncated reports whether the node limit stopped the enumeration.
+	// Truncated reports whether the enumeration stopped early — the node
+	// limit was hit or the context was cancelled. The clusters found up
+	// to that point are still valid and diversified.
 	Truncated bool
+	// Interrupted reports whether the truncation came from context
+	// cancellation specifically (mirroring core.Stats.Interrupted).
+	Interrupted bool
 	// Elapsed is the wall-clock mining time.
 	Elapsed time.Duration
 }
@@ -83,16 +89,33 @@ func (r *Result) CoverSize(n int) int {
 
 type miner struct {
 	g       *multilayer.Graph
+	ctx     context.Context // search lifetime; nil means run to completion
 	opts    Options
 	gamma   float64
 	nodes   int
 	limit   int
-	rootCap int // per-root node ceiling (against m.nodes)
+	rootCap int  // per-root node ceiling (against m.nodes)
+	stop    bool // latched context cancellation
 	out     []Cluster
 }
 
-// Mine runs the quasi-clique miner.
-func Mine(g *multilayer.Graph, opts Options) (*Result, error) {
+// interrupted reports whether the search context has been cancelled,
+// latching the first positive answer so the enumeration unwinds without
+// re-polling at every frame.
+func (m *miner) interrupted() bool {
+	if !m.stop && m.ctx != nil && m.ctx.Err() != nil {
+		m.stop = true
+	}
+	return m.stop
+}
+
+// Mine runs the quasi-clique miner. Cancelling ctx (or exceeding its
+// deadline) stops the enumeration at the next poll stride and returns
+// the valid partial result — the clusters mined so far, maximality-
+// filtered and diversified as usual — with Truncated and Interrupted
+// set, mirroring the engine-wide cancellation contract. A nil ctx runs
+// to completion.
+func Mine(ctx context.Context, g *multilayer.Graph, opts Options) (*Result, error) {
 	if g == nil {
 		return nil, errors.New("mimag: nil graph")
 	}
@@ -112,7 +135,7 @@ func Mine(g *multilayer.Graph, opts Options) (*Result, error) {
 		opts.NodeLimit = 50_000_000
 	}
 	start := time.Now()
-	m := &miner{g: g, opts: opts, gamma: opts.Gamma, limit: opts.NodeLimit}
+	m := &miner{g: g, ctx: ctx, opts: opts, gamma: opts.Gamma, limit: opts.NodeLimit}
 
 	// Vertices with enough support to ever appear in a cluster: degree ≥
 	// ⌈γ(MinSize−1)⌉ on at least s layers.
@@ -154,7 +177,7 @@ func Mine(g *multilayer.Graph, opts Options) (*Result, error) {
 		rootBudget = 2000
 	}
 	for idx, v := range universe {
-		if m.nodes >= m.limit {
+		if m.nodes >= m.limit || m.interrupted() {
 			break
 		}
 		m.rootCap = m.nodes + rootBudget
@@ -168,7 +191,7 @@ func Mine(g *multilayer.Graph, opts Options) (*Result, error) {
 		}
 	}
 
-	res := &Result{Nodes: m.nodes, Truncated: m.nodes >= m.limit}
+	res := &Result{Nodes: m.nodes, Truncated: m.nodes >= m.limit || m.stop, Interrupted: m.stop}
 	maximal := dropSubsets(m.out)
 	res.Raw = len(maximal)
 	res.Clusters = diversify(g.N(), maximal, opts.Redundancy, opts.MaxResults)
@@ -210,7 +233,12 @@ func (m *miner) supportLayers(q []int32) []int {
 // vertex order.
 func (m *miner) enumerate(q, cand []int32) {
 	m.nodes++
-	if m.nodes >= m.limit || m.nodes >= m.rootCap {
+	// Poll the context on a node stride: the subtree under one root is
+	// exponential, so the NodeLimit alone cannot give timely cancellation.
+	if m.nodes&1023 == 0 && m.interrupted() {
+		return
+	}
+	if m.stop || m.nodes >= m.limit || m.nodes >= m.rootCap {
 		return
 	}
 	if len(q) >= m.opts.MinSize {
@@ -229,7 +257,7 @@ func (m *miner) enumerate(q, cand []int32) {
 		return
 	}
 	for idx, v := range cand {
-		if m.nodes >= m.limit || m.nodes >= m.rootCap {
+		if m.stop || m.nodes >= m.limit || m.nodes >= m.rootCap {
 			return
 		}
 		q2 := append(append(make([]int32, 0, len(q)+1), q...), v)

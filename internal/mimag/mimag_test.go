@@ -1,6 +1,7 @@
 package mimag
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -70,7 +71,7 @@ func TestMineTriangle(t *testing.T) {
 		{{0, 1}, {1, 2}, {0, 2}, {2, 3}},
 		{{0, 1}, {1, 2}, {0, 2}},
 	})
-	res, err := Mine(g, Options{Gamma: 0.8, MinSize: 3, S: 2})
+	res, err := Mine(context.Background(), g, Options{Gamma: 0.8, MinSize: 3, S: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +97,11 @@ func TestMineValidatesOptions(t *testing.T) {
 		{Gamma: 0.8, MinSize: 3, S: 5},
 	}
 	for _, o := range bad {
-		if _, err := Mine(g, o); err == nil {
+		if _, err := Mine(context.Background(), g, o); err == nil {
 			t.Errorf("accepted %+v", o)
 		}
 	}
-	if _, err := Mine(nil, Options{Gamma: 0.8, MinSize: 3, S: 1}); err == nil {
+	if _, err := Mine(context.Background(), nil, Options{Gamma: 0.8, MinSize: 3, S: 1}); err == nil {
 		t.Error("accepted nil graph")
 	}
 }
@@ -118,7 +119,7 @@ func TestMineMatchesNaive(t *testing.T) {
 
 		// Recover the miner's pre-diversification maximal clusters by
 		// setting redundancy to accept everything.
-		res, err := Mine(g, Options{Gamma: gamma, MinSize: minSize, S: s, Redundancy: 1.0})
+		res, err := Mine(context.Background(), g, Options{Gamma: gamma, MinSize: minSize, S: s, Redundancy: 1.0})
 		if err != nil || res.Truncated {
 			return false
 		}
@@ -160,7 +161,7 @@ func keyOf(vs []int32) string {
 func TestEmittedClustersAreValid(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := testutil.RandomCorrelatedGraph(rng, 30, 4, 0.25, 0.9, 0.05)
-	res, err := Mine(g, Options{Gamma: 0.8, MinSize: 3, S: 2})
+	res, err := Mine(context.Background(), g, Options{Gamma: 0.8, MinSize: 3, S: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestMaxResults(t *testing.T) {
 func TestNodeLimitTruncates(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := testutil.RandomGraph(rng, 25, 2, 0.5)
-	res, err := Mine(g, Options{Gamma: 0.6, MinSize: 3, S: 1, NodeLimit: 100})
+	res, err := Mine(context.Background(), g, Options{Gamma: 0.6, MinSize: 3, S: 1, NodeLimit: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,5 +225,57 @@ func TestIsSubset(t *testing.T) {
 	}
 	if !isSubset(nil, []int32{1}) || isSubset([]int32{1, 2}, []int32{1}) {
 		t.Fatal("isSubset edge cases wrong")
+	}
+}
+
+// TestMineCancellation pins the cancellation contract: a cancelled
+// context stops the enumeration at the next poll stride, the partial
+// result is valid (diversified clusters, consistent counters), and both
+// Truncated and Interrupted are set.
+func TestMineCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := testutil.RandomGraph(rng, 40, 2, 0.4)
+	opts := Options{Gamma: 0.6, MinSize: 3, S: 1, NodeLimit: 200_000}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Mine(ctx, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || !res.Interrupted {
+		t.Fatalf("cancelled mine: Truncated=%v Interrupted=%v, want both true",
+			res.Truncated, res.Interrupted)
+	}
+	// The partial is valid: every returned cluster satisfies the γ
+	// threshold on its reported layers.
+	m := &miner{g: g, opts: opts, gamma: opts.Gamma}
+	for _, c := range res.Clusters {
+		sup := m.supportLayers(c.Vertices)
+		for _, ly := range c.Layers {
+			found := false
+			for _, s := range sup {
+				if s == ly {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("cluster %v reports unsupported layer %d", c.Vertices, ly)
+			}
+		}
+	}
+
+	// An uncancelled run of the same instance completes without the flags.
+	full, err := Mine(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Interrupted {
+		t.Fatal("uncancelled mine reported Interrupted")
+	}
+	if full.Nodes < res.Nodes {
+		t.Fatalf("full run expanded fewer nodes (%d) than the cancelled one (%d)",
+			full.Nodes, res.Nodes)
 	}
 }

@@ -228,12 +228,25 @@ type Builder struct {
 }
 
 // NewBuilder returns a Builder for a graph with n vertices and the given
-// number of layers.
+// number of layers. It panics on negative dimensions — a programming
+// error in generator code; decoders handling untrusted input use
+// newBuilderChecked so malformed dimensions surface as errors.
 func NewBuilder(n, layers int) *Builder {
-	if n < 0 || layers < 0 {
-		panic("multilayer: negative dimensions")
+	b, err := newBuilderChecked(n, layers)
+	if err != nil {
+		panic(err)
 	}
-	return &Builder{n: n, layers: layers, edges: make([][][2]int32, layers)}
+	return b
+}
+
+// newBuilderChecked is the error-returning constructor behind NewBuilder,
+// the form decode paths must use (dccs-vet's errpanic analyzer rejects
+// decoder entry points that can reach a panic).
+func newBuilderChecked(n, layers int) (*Builder, error) {
+	if n < 0 || layers < 0 {
+		return nil, fmt.Errorf("multilayer: negative dimensions n=%d layers=%d", n, layers)
+	}
+	return &Builder{n: n, layers: layers, edges: make([][][2]int32, layers)}, nil
 }
 
 // AddEdge records the undirected edge {u, v} on the given layer. It

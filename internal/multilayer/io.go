@@ -74,7 +74,10 @@ func Decode(r io.Reader) (*Graph, error) {
 			if n > maxVertices || l > maxLayers {
 				return nil, fmt.Errorf("multilayer: line %d: header dimensions n=%d l=%d exceed limits (%d, %d)", lineNo, n, l, maxVertices, maxLayers)
 			}
-			b = NewBuilder(n, l)
+			b, err1 = newBuilderChecked(n, l)
+			if err1 != nil {
+				return nil, fmt.Errorf("multilayer: line %d: %w", lineNo, err1)
+			}
 			continue
 		}
 		if len(fields) != 3 {
