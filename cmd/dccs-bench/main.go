@@ -15,6 +15,8 @@
 //	                               # engine snapshot (writes BENCH_format.json)
 //	dccs-bench -serve -out ./out   # closed-loop HTTP serving latency: cold vs
 //	                               # cache-hit vs coalesced (BENCH_serve.json)
+//	dccs-bench -dynamic -out ./out # live-graph update throughput and post-update
+//	                               # query latency vs cold rebuild (BENCH_dynamic.json)
 package main
 
 import (
@@ -36,11 +38,14 @@ func main() {
 	engine := flag.Bool("engine", false, "run the cold-vs-amortized prepared-engine comparison instead of a figure")
 	format := flag.Bool("format", false, "run the text-vs-binary-vs-snapshot storage comparison instead of a figure")
 	serve := flag.Bool("serve", false, "run the closed-loop HTTP serving benchmark instead of a figure")
+	dynamic := flag.Bool("dynamic", false, "run the live-graph update benchmark instead of a figure")
 	flag.Parse()
 
 	s := &bench.Suite{Scale: *scale, Seed: *seed, Quick: *quick, OutDir: *out, W: os.Stdout}
 	var err error
-	if *serve {
+	if *dynamic {
+		err = s.RunDynamic()
+	} else if *serve {
 		err = s.RunServe()
 	} else if *format {
 		err = s.RunFormat()

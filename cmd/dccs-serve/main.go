@@ -13,13 +13,15 @@
 //	           -snapshot-interval 5m g.mlgb      # warm-start + persistence
 //	dccs-serve -cache 4096 -max-inflight 16 \
 //	           -queue-depth 64 g.mlgb            # capacity tuning
+//	dccs-serve -mutable all g.mlgb               # accept live edge updates
 //
 // Endpoints (see README.md for the full reference):
 //
-//	POST /v1/search   {"graph","d","s","k","seed","algorithm","timeout_ms",...}
-//	GET  /v1/graphs   served graphs with engine metrics
-//	GET  /healthz     liveness (503 while draining)
-//	GET  /metrics     Prometheus text format
+//	POST /v1/search              {"graph","d","s","k","seed","algorithm","timeout_ms",...}
+//	GET  /v1/graphs              served graphs with engine metrics
+//	POST /v1/graphs/{id}/edges   apply an edge-update batch (-mutable graphs)
+//	GET  /healthz                liveness (503 while draining)
+//	GET  /metrics                Prometheus text format
 //
 // On SIGINT/SIGTERM the server drains gracefully: new queries are
 // rejected, in-flight searches are cancelled and return their valid
@@ -59,6 +61,8 @@ func main() {
 	snapshotDir := flag.String("snapshot-dir", "", "directory for per-graph .mlgs artifact snapshots (warm-start + persistence)")
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "period of background snapshot saves (0 = only on shutdown)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries to drain")
+	mutable := flag.String("mutable", "", "comma-separated graph names accepting POST /v1/graphs/{id}/edges, or 'all'")
+	maxUpdateBytes := flag.Int64("max-update-bytes", 0, "max body size of an edge-update batch before 413 (0 = default 4 MiB)")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -71,6 +75,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("dccs-serve: %v", err)
 	}
+	if err := markMutable(specs, *mutable); err != nil {
+		log.Fatalf("dccs-serve: -mutable: %v", err)
+	}
 
 	srv, err := server.New(server.Config{
 		MaxInflight:      *maxInflight,
@@ -80,6 +87,7 @@ func main() {
 		MaxTimeout:       *maxTimeout,
 		SnapshotDir:      *snapshotDir,
 		SnapshotInterval: *snapshotInterval,
+		MaxUpdateBytes:   *maxUpdateBytes,
 		Engine:           dccs.EngineConfig{Workers: *workers},
 		Logf:             log.Printf,
 	}, specs...)
@@ -154,6 +162,38 @@ func loadGraphs(args []string) ([]server.GraphSpec, error) {
 		specs = append(specs, server.GraphSpec{Name: name, Graph: g})
 	}
 	return specs, nil
+}
+
+// markMutable flags the named graphs (or all of them) as accepting edge
+// updates; naming an unserved graph is a configuration error.
+func markMutable(specs []server.GraphSpec, list string) error {
+	if list == "" {
+		return nil
+	}
+	if list == "all" {
+		for i := range specs {
+			specs[i].Mutable = true
+		}
+		return nil
+	}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for i := range specs {
+			if specs[i].Name == name {
+				specs[i].Mutable = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("graph %q is not being served", name)
+		}
+	}
+	return nil
 }
 
 // parseWarm parses the -warm list of degree thresholds.

@@ -2,14 +2,17 @@ package dccs
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/live"
 )
 
 // Algorithm selects which DCCS algorithm an Engine query runs.
@@ -113,30 +116,101 @@ type EngineMetrics struct {
 // An Engine is safe for concurrent use by multiple goroutines; queries
 // only read the cache, and artifact construction is guarded so
 // concurrent first queries build each artifact exactly once.
+//
+// An Engine created by NewEngine is immutable: its graph and artifacts
+// never change, and its version stays 0. NewMutableEngine (see
+// engine_mutable.go) produces a live-graph engine whose ApplyUpdates
+// swaps in a fresh (graph, artifacts, version) state atomically —
+// queries in flight keep the state they started with, new queries see
+// the new one, and nothing is ever observed half-applied.
 type Engine struct {
-	g       *Graph
 	cfg     EngineConfig
-	pr      *core.Prepared
 	queries atomic.Int64
+	st      atomic.Pointer[engineState]
+
+	// Mutable-mode fields; nil/zero on immutable engines.
+	mutable  bool
+	updateMu sync.Mutex // serializes ApplyUpdates and mutable LoadSnapshot
+	live     *live.Store
+}
+
+// engineState is one immutable (graph, artifacts, version) generation of
+// an Engine. Every query runs against exactly one state, so a search
+// never mixes a pre-update graph with post-update artifacts.
+type engineState struct {
+	g       *Graph
+	pr      *core.Prepared
+	version uint64
 
 	fpOnce sync.Once
 	fp     uint64
 }
 
-// NewEngine returns an Engine serving queries against g. The graph must
-// not be modified afterwards (Graph is immutable by construction).
-// Artifacts are built lazily on first use, so NewEngine itself is cheap;
-// call Warm to prepay the per-d construction.
+// fingerprint returns the state's cache-key fingerprint: the plain graph
+// fingerprint at version 0 (immutable engines keep their historical
+// keys), the FNV-1a mix of (graph fingerprint, version) afterwards. The
+// version is folded in even though a mutated graph already hashes
+// differently, so an update cycle that restores a previous edge set
+// still retires every cache entry of the intermediate versions.
+func (st *engineState) fingerprint() uint64 {
+	st.fpOnce.Do(func() {
+		fp := st.g.Fingerprint()
+		if st.version > 0 {
+			h := fnv.New64a()
+			var buf [16]byte
+			binary.LittleEndian.PutUint64(buf[:8], fp)
+			binary.LittleEndian.PutUint64(buf[8:], st.version)
+			h.Write(buf[:])
+			fp = h.Sum64()
+		}
+		st.fp = fp
+	})
+	return st.fp
+}
+
+// NewEngine returns an immutable Engine serving queries against g. The
+// graph must not be modified afterwards (Graph is immutable by
+// construction). Artifacts are built lazily on first use, so NewEngine
+// itself is cheap; call Warm to prepay the per-d construction.
 func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) {
 	if g == nil {
 		return nil, errors.New("dccs: nil graph")
 	}
 	opts := Options{Workers: cfg.Workers}
-	return &Engine{g: g, cfg: cfg, pr: core.NewPrepared(g, opts.MaterializeWorkers())}, nil
+	e := &Engine{cfg: cfg}
+	e.st.Store(&engineState{g: g, pr: core.NewPrepared(g, opts.MaterializeWorkers())})
+	return e, nil
 }
 
-// Graph returns the graph this engine serves.
-func (e *Engine) Graph() *Graph { return e.g }
+// View captures one consistent engine state. All of its methods answer
+// against that single state: a cache key computed from a View matches
+// the result its Search produces even if ApplyUpdates lands in between,
+// which is why the server takes one View per request instead of calling
+// the Engine's convenience delegates twice.
+type View struct {
+	e  *Engine
+	st *engineState
+}
+
+// View returns the engine's current state. On immutable engines it is
+// the one state forever; on mutable engines it pins the generation
+// current at call time.
+func (e *Engine) View() View { return View{e: e, st: e.st.Load()} }
+
+// Graph returns the graph this view serves.
+func (v View) Graph() *Graph { return v.st.g }
+
+// Version returns the view's graph version (0 for immutable engines).
+func (v View) Version() uint64 { return v.st.version }
+
+// Graph returns the graph the engine currently serves.
+func (e *Engine) Graph() *Graph { return e.View().Graph() }
+
+// Version returns the engine's current graph version: 0 until the first
+// successful ApplyUpdates, then the number of applied (non-no-op)
+// update batches across the engine's history, including batches
+// recovered from a version-stamped snapshot.
+func (e *Engine) Version() uint64 { return e.View().Version() }
 
 // Fingerprint returns the engine's graph fingerprint: an FNV-1a hash
 // over the full CSR content (see Graph.Fingerprint). Result caches
@@ -144,11 +218,15 @@ func (e *Engine) Graph() *Graph { return e.g }
 // graph can never answer queries against another — the same gate the
 // .mlgs snapshot format uses. The hash walks every edge, so the engine
 // computes it once (the graph is immutable) and serves it from memory:
-// it sits on the per-request cache-key path.
-func (e *Engine) Fingerprint() uint64 {
-	e.fpOnce.Do(func() { e.fp = e.g.Fingerprint() })
-	return e.fp
-}
+// it sits on the per-request cache-key path. On mutable engines the
+// current graph version is folded into the hash (see
+// engineState.fingerprint), so every update batch retires all previously
+// issued cache keys.
+func (e *Engine) Fingerprint() uint64 { return e.View().Fingerprint() }
+
+// Fingerprint returns the view's cache-key fingerprint; see
+// Engine.Fingerprint.
+func (v View) Fingerprint() uint64 { return v.st.fingerprint() }
 
 // CanonicalQuery maps q to a canonical representative of its
 // result-equivalence class: two queries with equal canonical forms are
@@ -181,21 +259,25 @@ func (e *Engine) Fingerprint() uint64 {
 // point, so for Workers > 1 && MaxTreeNodes > 0 equal canonical forms
 // guarantee equally *valid* results rather than equal ones — a cache
 // returns one representative.
-func (e *Engine) CanonicalQuery(q Query) Query {
+func (e *Engine) CanonicalQuery(q Query) Query { return e.View().CanonicalQuery(q) }
+
+// CanonicalQuery canonicalizes q against the view's graph and
+// artifacts; see Engine.CanonicalQuery.
+func (v View) CanonicalQuery(q Query) Query {
 	q.OnCandidate = nil
 	if q.Algorithm == "" || q.Algorithm == AlgoAuto {
-		q.Algorithm = autoAlgorithm(e.g, q.S)
+		q.Algorithm = autoAlgorithm(v.st.g, q.S)
 	}
 	workers := q.Workers
 	if workers == 0 {
-		workers = e.cfg.Workers
+		workers = v.e.cfg.Workers
 	}
 	if workers <= 1 {
 		q.Workers = 1
 	} else {
 		q.Workers = 2
 	}
-	if maxD := e.pr.MaxCoreness() + 1; q.D > maxD {
+	if maxD := v.st.pr.MaxCoreness() + 1; q.D > maxD {
 		q.D = maxD
 	}
 	return q
@@ -205,15 +287,20 @@ func (e *Engine) CanonicalQuery(q Query) Query {
 // fingerprint, as a flat string — a ready-made map key for result
 // caches. Queries with equal keys are interchangeable: same graph, same
 // result (modulo the Workers>1+MaxTreeNodes caveat on CanonicalQuery).
-func (e *Engine) CacheKey(q Query) string {
-	c := e.CanonicalQuery(q)
+func (e *Engine) CacheKey(q Query) string { return e.View().CacheKey(q) }
+
+// CacheKey renders the view's cache key for q; see Engine.CacheKey.
+func (v View) CacheKey(q Query) string {
+	c := v.CanonicalQuery(q)
 	return fmt.Sprintf("%016x|d%d|s%d|k%d|x%d|a%s|m%d|w%d",
-		e.Fingerprint(), c.D, c.S, c.K, c.Seed, c.Algorithm, c.MaxTreeNodes, c.Workers)
+		v.Fingerprint(), c.D, c.S, c.K, c.Seed, c.Algorithm, c.MaxTreeNodes, c.Workers)
 }
 
-// Metrics returns the engine's lifetime counters.
+// Metrics returns the engine's lifetime counters. On mutable engines
+// the build counters carry across update generations (Derive inherits
+// them), so they keep measuring amortization over the engine's life.
 func (e *Engine) Metrics() EngineMetrics {
-	c := e.pr.Counters()
+	c := e.st.Load().pr.Counters()
 	return EngineMetrics{
 		Queries:         e.queries.Load(),
 		CorenessBuilds:  c.CorenessBuilds,
@@ -231,8 +318,9 @@ func (e *Engine) Warm(ds ...int) error {
 			return fmt.Errorf("dccs: degree threshold d = %d, want ≥ 1", d)
 		}
 	}
+	pr := e.st.Load().pr
 	for _, d := range ds {
-		e.pr.Prepare(d)
+		pr.Prepare(d)
 	}
 	return nil
 }
@@ -251,7 +339,7 @@ func (e *Engine) SaveSnapshot(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := e.pr.WriteSnapshot(f); err != nil {
+	if err := e.st.Load().pr.WriteSnapshot(f); err != nil {
 		f.Close()
 		os.Remove(f.Name())
 		return err
@@ -289,8 +377,25 @@ func (e *Engine) LoadSnapshot(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := e.pr.RestoreSnapshot(data); err != nil {
+	if e.mutable {
+		// Serialize with ApplyUpdates: restore installs artifacts into the
+		// current generation and may advance the version below.
+		e.updateMu.Lock()
+		defer e.updateMu.Unlock()
+	}
+	st := e.st.Load()
+	if err := st.pr.RestoreSnapshot(data); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
+	}
+	if e.mutable {
+		// A version-stamped snapshot of a previously mutated engine resumes
+		// the update counter, so cache keys issued before the restart can
+		// never alias keys issued after it. Immutable engines ignore the
+		// stamp — their version is pinned at 0 and their fingerprint stays
+		// the plain graph fingerprint.
+		if v := st.pr.Version(); v > st.version {
+			e.st.Store(&engineState{g: st.g, pr: st.pr, version: v})
+		}
 	}
 	return nil
 }
@@ -339,30 +444,37 @@ func (e *Engine) options(q Query) Options {
 // The algorithm that ran — auto-selected or explicit — is recorded in
 // Result.Stats.Algorithm.
 func (e *Engine) Search(ctx context.Context, q Query) (*Result, error) {
+	return e.View().Search(ctx, q)
+}
+
+// Search answers one DCCS query against this view's pinned state; see
+// Engine.Search. On a mutable engine the query runs entirely on the
+// generation the view captured, even if updates land concurrently.
+func (v View) Search(ctx context.Context, q Query) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	opts := e.options(q)
+	opts := v.e.options(q)
 	algo := q.Algorithm
 	if algo == "" || algo == AlgoAuto {
-		algo = autoAlgorithm(e.g, q.S)
+		algo = autoAlgorithm(v.st.g, q.S)
 	}
 	var res *Result
 	var err error
 	switch algo {
 	case AlgoGreedy:
-		res, err = e.pr.Greedy(ctx, opts)
+		res, err = v.st.pr.Greedy(ctx, opts)
 	case AlgoBottomUp:
-		res, err = e.pr.BottomUp(ctx, opts)
+		res, err = v.st.pr.BottomUp(ctx, opts)
 	case AlgoTopDown:
-		res, err = e.pr.TopDown(ctx, opts)
+		res, err = v.st.pr.TopDown(ctx, opts)
 	case AlgoExact:
-		res, err = e.pr.Exact(ctx, opts)
+		res, err = v.st.pr.Exact(ctx, opts)
 	default:
 		return nil, fmt.Errorf("dccs: unknown algorithm %q (want auto, greedy, bu, td, exact)", algo)
 	}
 	if err == nil {
-		e.queries.Add(1)
+		v.e.queries.Add(1)
 	}
 	return res, err
 }

@@ -42,6 +42,14 @@ type Prepared struct {
 
 	corenessBuilds  atomic.Int64
 	hierarchyBuilds atomic.Int64
+
+	// version is the graph version these artifacts were computed for: 0
+	// for a freshly constructed handle, the batch counter for handles
+	// produced by Derive on the live-graph update path. It is stamped
+	// into snapshots so a warm start of a mutated engine resumes its
+	// version sequence. Atomic only because RestoreSnapshot may adopt a
+	// persisted version while a snapshot loop reads it.
+	version atomic.Uint64
 }
 
 // dArtifact is the lazily built per-d cache slot. buildMu serializes

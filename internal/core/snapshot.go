@@ -25,6 +25,8 @@ import (
 //	magic "MLGS", version uint32
 //	n int64, l int64, graph fingerprint uint64
 //	maxCoreness int64
+//	graph version int64 (format v2+; live-graph update counter, 0 for
+//	  immutable engines — v1 snapshots restore as version 0)
 //	coreness: l sections of n int32
 //	union adjacency (d-independent, consumed by top-down refinement):
 //	  total int64 (-1 when absent), then offsets (n+1)×int64 and the
@@ -56,7 +58,10 @@ import (
 // SnapshotMagic is the 4-byte magic prefix of engine snapshot files.
 const SnapshotMagic = "MLGS"
 
-const snapshotVersion = 1
+// snapshotVersion is the current format version. Version 2 added the
+// graph-version stamp so a warm-started mutable engine resumes its
+// update counter; version-1 files are still readable (version 0).
+const snapshotVersion = 2
 
 // WriteSnapshot serializes the artifacts this Prepared has finished
 // building: the per-layer coreness (built now if the handle is still
@@ -88,6 +93,7 @@ func (pr *Prepared) WriteSnapshot(w io.Writer) error {
 	lw.I64(int64(l))
 	lw.I64(int64(g.Fingerprint()))
 	lw.I64(int64(pr.maxCoreness))
+	lw.I64(int64(pr.version.Load()))
 	buf32 := make([]int32, n)
 	for i := 0; i < l; i++ {
 		for v, c := range coreness[i] {
@@ -172,8 +178,9 @@ func (pr *Prepared) RestoreSnapshot(data []byte) error {
 	if magic := r.Bytes(4); r.Err() != nil || string(magic) != SnapshotMagic {
 		return fmt.Errorf("core: not an engine snapshot (missing %q magic)", SnapshotMagic)
 	}
-	if v := r.U32(); r.Err() != nil || v != snapshotVersion {
-		return fmt.Errorf("core: unsupported snapshot version %d (want %d)", v, snapshotVersion)
+	fv := r.U32()
+	if r.Err() != nil || fv < 1 || fv > snapshotVersion {
+		return fmt.Errorf("core: unsupported snapshot version %d (want 1..%d)", fv, snapshotVersion)
 	}
 	sn, sl, fp := r.I64(), r.I64(), uint64(r.I64())
 	if err := r.Err(); err != nil {
@@ -186,6 +193,16 @@ func (pr *Prepared) RestoreSnapshot(data []byte) error {
 	maxCoreness := r.I64()
 	if maxCoreness < 0 || maxCoreness > int64(n) {
 		return fmt.Errorf("core: snapshot max coreness %d out of range [0,%d]", maxCoreness, n)
+	}
+	graphVersion := int64(0)
+	if fv >= 2 {
+		graphVersion = r.I64()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if graphVersion < 0 {
+			return fmt.Errorf("core: snapshot graph version %d is negative", graphVersion)
+		}
 	}
 	coreness := make([][]int, l)
 	for i := 0; i < l; i++ {
@@ -280,6 +297,9 @@ func (pr *Prepared) RestoreSnapshot(data []byte) error {
 		pr.coreness = coreness
 		pr.maxCoreness = int(maxCoreness)
 	})
+	if uint64(graphVersion) > pr.version.Load() {
+		pr.version.Store(uint64(graphVersion))
+	}
 	if unionAdj != nil {
 		pr.unionAdjOnce.Do(func() { pr.unionAdj = unionAdj })
 		unionAdj = pr.unionAdj // whichever copy the once kept

@@ -163,6 +163,43 @@ func (g *Graph) Freeze() *multilayer.Graph {
 	return b.Build()
 }
 
+// ToMultilayer exports the mutable graph straight into immutable CSR
+// form, skipping Freeze's edge-list accumulation and re-sort: the
+// adjacency sets already hold each undirected edge in both directions
+// without duplicates, so one counting pass sizes the arrays and one
+// sorted sweep fills them. This is the rebuild path of the live-graph
+// engine — it runs once per accepted update batch — and it produces a
+// graph Equal to Freeze()'s (both CSR forms are canonical), which the
+// round-trip tests assert.
+func (g *Graph) ToMultilayer() *multilayer.Graph {
+	offsets := make([][]int64, g.L())
+	neighbors := make([][]int32, g.L())
+	for layer := range g.adj {
+		off := make([]int64, g.n+1)
+		for v := 0; v < g.n; v++ {
+			off[v+1] = off[v] + int64(len(g.adj[layer][int32(v)]))
+		}
+		nbr := make([]int32, off[g.n])
+		w := 0
+		for v := 0; v < g.n; v++ {
+			g.Neighbors(layer, v, func(u int) bool {
+				nbr[w] = int32(u)
+				w++
+				return true
+			})
+		}
+		offsets[layer], neighbors[layer] = off, nbr
+	}
+	mg, err := multilayer.FromCSR(g.n, offsets, neighbors)
+	if err != nil {
+		// The arrays above are canonical by construction (sorted sets,
+		// both directions, no self-loops); failing validation means this
+		// function is broken, not the caller.
+		panic(err)
+	}
+	return mg
+}
+
 // Maintainer keeps the d-coherent core of a fixed layer subset current
 // while the underlying Graph changes through it. All updates must go
 // through the maintainer's AddEdge/RemoveEdge; mutating the Graph
@@ -345,16 +382,31 @@ func (m *Maintainer) peel(ctx context.Context, queue []int32) []int32 {
 // cascade. It reports whether the edge existed. Cancellation stashes the
 // remaining cascade (see Maintainer); the deletion itself always lands.
 func (m *Maintainer) RemoveEdge(ctx context.Context, layer, u, v int) bool {
-	if m.insertDirty {
-		// A cancelled grow already scheduled a full rebuild, which will
-		// see this deletion too; incremental bookkeeping would be unsound.
-		m.Repair(ctx)
-	}
 	if !m.g.RemoveEdge(layer, u, v) {
 		return false
 	}
-	if !m.inL[layer] || m.insertDirty {
-		return true
+	m.ObserveRemove(ctx, layer, u, v)
+	return true
+}
+
+// ObserveRemove incorporates the deletion of {u, v} — already applied to
+// the underlying Graph by the caller — into the maintained core. It is
+// the maintenance half of RemoveEdge, split out for owners that mutate
+// the shared Graph once and fan the change out to several maintainers
+// (the live-graph store): a second maintainer's RemoveEdge would see the
+// edge already gone and skip maintenance entirely. The edge must have
+// existed and must have just been removed; observing a deletion that
+// never happened desynchronizes the degree counters.
+func (m *Maintainer) ObserveRemove(ctx context.Context, layer, u, v int) {
+	if !m.inL[layer] {
+		return
+	}
+	if m.insertDirty {
+		// A cancelled grow already scheduled a full rebuild; it runs
+		// against the current (post-deletion) graph, so it sees this
+		// deletion too and incremental bookkeeping would be unsound.
+		m.Repair(ctx)
+		return
 	}
 	if m.core.Contains(u) && m.core.Contains(v) {
 		m.deg[layer][u]--
@@ -366,7 +418,6 @@ func (m *Maintainer) RemoveEdge(ctx context.Context, layer, u, v int) bool {
 	// deg counters is exactly a cascade in progress, so resuming here is
 	// sound: peel re-checks the violation on every pop.
 	m.pending = m.peel(ctx, m.pending)
-	return true
 }
 
 // AddEdge inserts {u, v} on the layer and grows the core exactly: any
@@ -380,26 +431,45 @@ func (m *Maintainer) RemoveEdge(ctx context.Context, layer, u, v int) bool {
 func (m *Maintainer) AddEdge(ctx context.Context, layer, u, v int) bool {
 	if m.Truncated() {
 		// The grow argument needs the previous core exact and maximal;
-		// drain the backlog first.
+		// drain the backlog now, while the stashed counters still match
+		// the graph (ObserveAdd would have to fall back to a rebuild).
 		m.Repair(ctx)
 	}
 	if !m.g.AddEdge(layer, u, v) {
 		return false
 	}
+	m.ObserveAdd(ctx, layer, u, v)
+	return true
+}
+
+// ObserveAdd incorporates the insertion of {u, v} — already applied to
+// the underlying Graph by the caller — into the maintained core: the
+// maintenance half of AddEdge, for owners fanning one mutation out to
+// several maintainers (see ObserveRemove). The edge must have just been
+// inserted. A backlog stashed by an earlier cancelled operation cannot
+// be resumed here — its counters predate this edge — so in that case the
+// maintainer falls back to a full rebuild over the current graph.
+func (m *Maintainer) ObserveAdd(ctx context.Context, layer, u, v int) {
 	if !m.inL[layer] {
-		return true
+		return
 	}
 	if m.Truncated() {
-		// Backlog still unresolved (ctx is cancelled): the incremental
-		// grow below would start from a stale core, so fall back to a
-		// rebuild, deferred to Repair or the next update.
+		// Backlog unresolved: the incremental grow below needs the
+		// previous core exact, and the stashed peel counters do not see
+		// this edge, so resuming them could over-peel. Schedule a full
+		// rebuild instead — it runs against the current graph, edge
+		// included — and run it now unless ctx is already cancelled (then
+		// it stays deferred to Repair or the next update, like AddEdge).
 		m.insertDirty = true
-		return true
+		if ctx == nil || ctx.Err() == nil {
+			m.Repair(ctx)
+		}
+		return
 	}
 	if m.core.Contains(u) && m.core.Contains(v) {
 		m.deg[layer][u]++
 		m.deg[layer][v]++
-		return true
+		return
 	}
 	// Candidate region: BFS from the non-core endpoints over non-core
 	// vertices along watched layers. The core is untouched until the BFS
@@ -415,7 +485,7 @@ func (m *Maintainer) AddEdge(ctx context.Context, layer, u, v int) bool {
 	for len(stack) > 0 {
 		if steps++; steps&255 == 0 && ctx != nil && ctx.Err() != nil {
 			m.insertDirty = true
-			return true
+			return
 		}
 		w := int(stack[len(stack)-1])
 		stack = stack[:len(stack)-1]
@@ -468,5 +538,4 @@ func (m *Maintainer) AddEdge(ctx context.Context, layer, u, v int) bool {
 	// enlarged core plus recomputed counters is a valid peel-in-progress
 	// state, resumed incrementally by Repair.
 	m.pending = m.peel(ctx, queue)
-	return true
 }

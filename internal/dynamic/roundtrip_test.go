@@ -1,0 +1,114 @@
+package dynamic
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestToMultilayerRoundTrip pins the CSR export: importing an immutable
+// graph, mutating it, and exporting must agree with Freeze (the
+// edge-list path) and with a builder-built graph of the same edge set —
+// all three CSR forms are canonical, so Equal is array equality.
+func TestToMultilayerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := testutil.RandomGraph(rng, 60, 4, 0.15)
+
+	g := FromMultilayer(src)
+	direct := g.ToMultilayer()
+	if !direct.Equal(src) {
+		t.Fatal("ToMultilayer of an unmodified import differs from the source graph")
+	}
+
+	// Mutate: random deletions of existing edges and insertions of fresh
+	// ones, then compare the two export paths.
+	for v := 0; v < src.N(); v += 7 {
+		for layer := 0; layer < src.L(); layer++ {
+			for _, u := range src.Neighbors(layer, v) {
+				if int(u) > v && rng.Intn(2) == 0 {
+					g.RemoveEdge(layer, v, int(u))
+				}
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		g.AddEdge(rng.Intn(src.L()), rng.Intn(src.N()), rng.Intn(src.N()-1))
+	}
+
+	got, want := g.ToMultilayer(), g.Freeze()
+	if !got.Equal(want) {
+		t.Fatal("ToMultilayer and Freeze disagree after mutations")
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatal("ToMultilayer and Freeze produce different fingerprints")
+	}
+
+	// And back again: importing the export must export identically.
+	again := FromMultilayer(got).ToMultilayer()
+	if !again.Equal(got) {
+		t.Fatal("round trip through FromMultilayer changed the graph")
+	}
+}
+
+// TestObserveFanOut pins the Observe* split: several maintainers sharing
+// one graph, with the owner mutating the graph directly and fanning each
+// change out via ObserveAdd/ObserveRemove, must each track exactly the
+// core a from-scratch maintainer over the final graph computes.
+func TestObserveFanOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	src := testutil.RandomGraph(rng, 80, 4, 0.12)
+	g := FromMultilayer(src)
+
+	subsets := [][]int{{0}, {1, 2}, {0, 1, 2, 3}}
+	ds := []int{2, 2, 3}
+	ms := make([]*Maintainer, len(subsets))
+	for i := range subsets {
+		m, err := NewMaintainer(nil, g, subsets[i], ds[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = m
+	}
+
+	for step := 0; step < 400; step++ {
+		layer := rng.Intn(g.L())
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u == v {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			if g.AddEdge(layer, u, v) {
+				for _, m := range ms {
+					m.ObserveAdd(context.Background(), layer, u, v)
+				}
+			}
+		} else {
+			if g.RemoveEdge(layer, u, v) {
+				for _, m := range ms {
+					m.ObserveRemove(context.Background(), layer, u, v)
+				}
+			}
+		}
+	}
+
+	for i, m := range ms {
+		if m.Truncated() {
+			t.Fatalf("maintainer %d truncated under a live context", i)
+		}
+		fresh, err := NewMaintainer(nil, g, subsets[i], ds[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := m.CoreSize(), fresh.CoreSize(); got != want {
+			t.Fatalf("maintainer %d: core size %d after fan-out, from-scratch says %d", i, got, want)
+		}
+		m.Core().ForEach(func(v int) bool {
+			if !fresh.Core().Contains(v) {
+				t.Fatalf("maintainer %d: vertex %d in maintained core but not in from-scratch core", i, v)
+			}
+			return true
+		})
+	}
+}

@@ -327,6 +327,53 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// FromCSR assembles a graph directly from per-layer CSR arrays, the
+// zero-copy counterpart of Builder for callers that already hold the
+// adjacency in canonical form (sorted, deduplicated, self-loop free,
+// each undirected edge stored in both directions) — the dynamic graph's
+// export path. The arrays are adopted, not copied; the caller must not
+// modify them afterwards. Shape invariants (offset monotonicity, sorted
+// strictly-ascending vertex ranges, ids in [0,n)) are validated so a
+// buggy producer fails here rather than as a mid-query panic; edge
+// symmetry is the caller's contract, as checking it would cost as much
+// as rebuilding through Builder.
+func FromCSR(n int, offsets [][]int64, neighbors [][]int32) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("multilayer: negative vertex count %d", n)
+	}
+	if len(offsets) != len(neighbors) {
+		return nil, fmt.Errorf("multilayer: %d offset layers but %d neighbor layers", len(offsets), len(neighbors))
+	}
+	g := &Graph{n: n, layers: make([]csrLayer, len(offsets))}
+	for li := range offsets {
+		off, nbr := offsets[li], neighbors[li]
+		if len(off) != n+1 || off[0] != 0 || off[n] != int64(len(nbr)) {
+			return nil, fmt.Errorf("multilayer: layer %d offsets malformed (len %d, first %d, last %d, %d neighbors)",
+				li, len(off), off[0], off[len(off)-1], len(nbr))
+		}
+		for v := 0; v < n; v++ {
+			lo, hi := off[v], off[v+1]
+			if hi < lo {
+				return nil, fmt.Errorf("multilayer: layer %d offsets decrease at vertex %d", li, v)
+			}
+			for i := lo; i < hi; i++ {
+				u := nbr[i]
+				if u < 0 || u >= int32(n) {
+					return nil, fmt.Errorf("multilayer: layer %d neighbor %d out of range [0,%d)", li, u, n)
+				}
+				if int(u) == v {
+					return nil, fmt.Errorf("multilayer: layer %d self-loop at vertex %d", li, v)
+				}
+				if i > lo && nbr[i-1] >= u {
+					return nil, fmt.Errorf("multilayer: layer %d adjacency of vertex %d not strictly ascending", li, v)
+				}
+			}
+		}
+		g.layers[li] = csrLayer{offsets: off, neighbors: nbr}
+	}
+	return g, nil
+}
+
 // FromEdgeLists builds a graph directly from per-layer edge lists, a
 // convenience for tests and examples. Edges are pairs of vertex ids.
 func FromEdgeLists(n int, layers [][][2]int) (*Graph, error) {

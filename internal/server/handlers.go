@@ -187,7 +187,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		MaxTreeNodes: req.MaxTreeNodes,
 		Workers:      req.Workers,
 	}
-	key := h.eng.CacheKey(q)
+	// Pin one engine generation for the whole request: on a mutable
+	// graph the cache key and the search must come from the same state,
+	// or an update landing between the two could file a post-update
+	// result under a pre-update key.
+	view := h.eng.View()
+	key := view.CacheKey(q)
 	timeout := s.effectiveTimeout(&req)
 
 	if !req.NoCache {
@@ -221,7 +226,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 				return res, nil
 			}
 		}
-		res, err := h.eng.Search(ctx, q)
+		res, err := view.Search(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -286,13 +291,17 @@ func (s *Server) respond(w http.ResponseWriter, h *graphHandle, res *dccs.Result
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// GraphInfo is one entry of GET /v1/graphs.
+// GraphInfo is one entry of GET /v1/graphs. Mutable graphs additionally
+// report their update version; stats and fingerprint always describe
+// the current generation of the graph.
 type GraphInfo struct {
 	Name            string `json:"name"`
 	N               int    `json:"n"`
 	Layers          int    `json:"layers"`
 	TotalEdges      int    `json:"total_edges"`
 	Fingerprint     string `json:"fingerprint"`
+	Mutable         bool   `json:"mutable"`
+	Version         uint64 `json:"version"`
 	Queries         int64  `json:"queries"`
 	CorenessBuilds  int64  `json:"coreness_builds"`
 	HierarchyBuilds int64  `json:"hierarchy_builds"`
@@ -307,11 +316,14 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	out := make([]GraphInfo, 0, len(s.names))
 	for _, name := range s.names {
 		h := s.graphs[name]
-		st := h.g.Stats()
+		view := h.eng.View()
+		st := view.Graph().Stats()
 		m := h.eng.Metrics()
 		out = append(out, GraphInfo{
 			Name: name, N: st.N, Layers: st.Layers, TotalEdges: st.TotalEdges,
-			Fingerprint:     fmt.Sprintf("%016x", h.eng.Fingerprint()),
+			Fingerprint:     fmt.Sprintf("%016x", view.Fingerprint()),
+			Mutable:         h.eng.Mutable(),
+			Version:         view.Version(),
 			Queries:         m.Queries,
 			CorenessBuilds:  m.CorenessBuilds,
 			HierarchyBuilds: m.HierarchyBuilds,

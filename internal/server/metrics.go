@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	dccs "repro"
 )
 
 // serverMetrics aggregates the server-side counters exported by GET
@@ -29,9 +31,26 @@ type serverMetrics struct {
 
 	snapshotSaves atomic.Int64
 
+	// Live-graph update accounting (POST /v1/graphs/{id}/edges).
+	updateBatches     atomic.Int64
+	updateInserted    atomic.Int64
+	updateDeleted     atomic.Int64
+	updateNoOps       atomic.Int64
+	updateInvalidated atomic.Int64
+	updateRebuildNS   atomic.Int64
+
 	// HTTP status counts, keyed by numeric code.
 	statusMu sync.Mutex
 	status   map[int]int64
+}
+
+func (m *serverMetrics) countUpdate(stats *dccs.UpdateStats) {
+	m.updateBatches.Add(1)
+	m.updateInserted.Add(int64(stats.Inserted))
+	m.updateDeleted.Add(int64(stats.Deleted))
+	m.updateNoOps.Add(int64(stats.NoOps))
+	m.updateInvalidated.Add(int64(stats.InvalidatedHierarchies))
+	m.updateRebuildNS.Add(int64(stats.RebuildElapsed))
 }
 
 func (m *serverMetrics) countSearch(source string, elapsed time.Duration) {
@@ -153,6 +172,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	p.typ("dccs_snapshot_saves_total", "counter")
 	p.counter("dccs_snapshot_saves_total", "", m.snapshotSaves.Load())
+
+	p.typ("dccs_update_batches_total", "counter")
+	p.counter("dccs_update_batches_total", "", m.updateBatches.Load())
+	p.typ("dccs_update_edges_total", "counter")
+	p.counter("dccs_update_edges_total", `op="insert"`, m.updateInserted.Load())
+	p.counter("dccs_update_edges_total", `op="delete"`, m.updateDeleted.Load())
+	p.typ("dccs_update_noops_total", "counter")
+	p.counter("dccs_update_noops_total", "", m.updateNoOps.Load())
+	p.typ("dccs_update_invalidated_hierarchies_total", "counter")
+	p.counter("dccs_update_invalidated_hierarchies_total", "", m.updateInvalidated.Load())
+	p.typ("dccs_update_rebuild_seconds_total", "counter")
+	p.gauge("dccs_update_rebuild_seconds_total", "", time.Duration(m.updateRebuildNS.Load()).Seconds())
+
+	p.typ("dccs_graph_version", "gauge")
+	for _, name := range s.names {
+		p.gauge("dccs_graph_version", promLabel("graph", name), float64(s.graphs[name].eng.Version()))
+	}
 
 	p.typ("dccs_http_responses_total", "counter")
 	m.statusMu.Lock()

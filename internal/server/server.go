@@ -42,6 +42,11 @@ type Config struct {
 	// SnapshotInterval, when positive and SnapshotDir is set, saves
 	// every engine's artifacts on this period in the background.
 	SnapshotInterval time.Duration
+	// MaxUpdateBytes bounds the body of POST /v1/graphs/{id}/edges;
+	// larger bodies are rejected with 413. 0 means 4 MiB. Update batches
+	// are materialized in memory before validation, so the bound is the
+	// lever that keeps a hostile client from ballooning the heap.
+	MaxUpdateBytes int64
 	// Engine is the configuration shared by every engine this server
 	// builds.
 	Engine dccs.EngineConfig
@@ -73,16 +78,22 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout == 0 {
 		c.MaxTimeout = 5 * time.Minute
 	}
+	if c.MaxUpdateBytes <= 0 {
+		c.MaxUpdateBytes = 4 << 20
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
 	return c
 }
 
-// GraphSpec names one graph a Server serves.
+// GraphSpec names one graph a Server serves. Mutable graphs accept
+// edge-update batches through POST /v1/graphs/{name}/edges; immutable
+// ones answer that endpoint with 409.
 type GraphSpec struct {
-	Name  string
-	Graph *dccs.Graph
+	Name    string
+	Graph   *dccs.Graph
+	Mutable bool
 }
 
 // graphHandle pairs a named graph with its long-lived engine.
@@ -162,12 +173,32 @@ func New(cfg Config, specs ...GraphSpec) (*Server, error) {
 			cancel()
 			return nil, fmt.Errorf("server: duplicate graph name %q", spec.Name)
 		}
-		eng, err := dccs.NewEngine(spec.Graph, cfg.Engine)
+		g := spec.Graph
+		if spec.Mutable && cfg.SnapshotDir != "" {
+			// A mutable graph's current edge set lives in the snapshot dir
+			// once updates have been applied; prefer it over the (stale)
+			// boot-time graph so the artifact snapshot's fingerprint gate
+			// matches and updates resume where the last process stopped.
+			path := s.liveGraphPath(spec.Name)
+			if lg, err := dccs.ReadGraphFile(path); err == nil {
+				g = lg
+				cfg.Logf("server: %s: resumed mutated graph from %s", spec.Name, path)
+			} else if !errors.Is(err, os.ErrNotExist) {
+				cfg.Logf("server: %s: ignoring mutated graph: %v", spec.Name, err)
+			}
+		}
+		var eng *dccs.Engine
+		var err error
+		if spec.Mutable {
+			eng, err = dccs.NewMutableEngine(g, cfg.Engine)
+		} else {
+			eng, err = dccs.NewEngine(g, cfg.Engine)
+		}
 		if err != nil {
 			cancel()
 			return nil, fmt.Errorf("server: %s: %w", spec.Name, err)
 		}
-		h := &graphHandle{name: spec.Name, g: spec.Graph, eng: eng}
+		h := &graphHandle{name: spec.Name, g: g, eng: eng}
 		if cfg.SnapshotDir != "" {
 			path := s.snapshotPath(spec.Name)
 			if err := eng.LoadSnapshot(path); err == nil {
@@ -205,6 +236,13 @@ func (s *Server) snapshotPath(name string) string {
 	return filepath.Join(s.cfg.SnapshotDir, name+".mlgs")
 }
 
+// liveGraphPath is where a mutable graph's current edge set persists:
+// the artifact snapshot alone cannot warm-start a mutated engine, since
+// it only matches the graph it was computed for.
+func (s *Server) liveGraphPath(name string) string {
+	return filepath.Join(s.cfg.SnapshotDir, name+".live.mlgb")
+}
+
 // snapshotLoop periodically persists every engine's artifacts.
 func (s *Server) snapshotLoop() {
 	defer s.snapWG.Done()
@@ -232,6 +270,22 @@ func (s *Server) saveSnapshots() {
 	}
 	for _, name := range s.names {
 		h := s.graphs[name]
+		if h.eng.Mutable() && h.eng.Version() > 0 {
+			// Persist the mutated edge set first: an artifact snapshot
+			// without its graph is unloadable (fingerprint gate). The write
+			// is atomic (temp + rename), like SaveSnapshot's.
+			path := s.liveGraphPath(name)
+			tmp := path + ".tmp"
+			if err := h.eng.Graph().WriteBinaryFile(tmp); err != nil {
+				s.cfg.Logf("server: %s: live graph save: %v", name, err)
+				continue
+			}
+			if err := os.Rename(tmp, path); err != nil {
+				os.Remove(tmp)
+				s.cfg.Logf("server: %s: live graph save: %v", name, err)
+				continue
+			}
+		}
 		path := s.snapshotPath(name)
 		if err := h.eng.SaveSnapshot(path); err != nil {
 			s.cfg.Logf("server: %s: snapshot save: %v", name, err)
@@ -344,14 +398,16 @@ func (s *Server) release() {
 
 // Handler returns the server's HTTP routes:
 //
-//	POST /v1/search   answer one DCCS query (JSON in, JSON out)
-//	GET  /v1/graphs   list served graphs with stats and engine metrics
-//	GET  /healthz     liveness (503 while draining)
-//	GET  /metrics     Prometheus text-format counters
+//	POST /v1/search              answer one DCCS query (JSON in, JSON out)
+//	GET  /v1/graphs              list served graphs with stats and engine metrics
+//	POST /v1/graphs/{id}/edges   apply an edge-update batch (mutable graphs)
+//	GET  /healthz                liveness (503 while draining)
+//	GET  /metrics                Prometheus text-format counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/search", s.handleSearch)
 	mux.HandleFunc("/v1/graphs", s.handleGraphs)
+	mux.HandleFunc("POST /v1/graphs/{graph}/edges", s.handleUpdateEdges)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
