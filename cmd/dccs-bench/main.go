@@ -17,6 +17,9 @@
 //	                               # cache-hit vs coalesced (BENCH_serve.json)
 //	dccs-bench -dynamic -out ./out # live-graph update throughput and post-update
 //	                               # query latency vs cold rebuild (BENCH_dynamic.json)
+//	dccs-bench -core -out ./out    # preprocessing primitives: shared multi-d
+//	                               # hierarchy sweep vs per-d builds, flat-peel
+//	                               # latency and allocs (BENCH_core.json)
 package main
 
 import (
@@ -39,11 +42,14 @@ func main() {
 	format := flag.Bool("format", false, "run the text-vs-binary-vs-snapshot storage comparison instead of a figure")
 	serve := flag.Bool("serve", false, "run the closed-loop HTTP serving benchmark instead of a figure")
 	dynamic := flag.Bool("dynamic", false, "run the live-graph update benchmark instead of a figure")
+	coreb := flag.Bool("core", false, "run the core-primitive benchmark (shared multi-d sweep, flat peel) instead of a figure")
 	flag.Parse()
 
 	s := &bench.Suite{Scale: *scale, Seed: *seed, Quick: *quick, OutDir: *out, W: os.Stdout}
 	var err error
-	if *dynamic {
+	if *coreb {
+		err = s.RunCore()
+	} else if *dynamic {
 		err = s.RunDynamic()
 	} else if *serve {
 		err = s.RunServe()

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/live"
@@ -312,17 +313,29 @@ func (e *Engine) Metrics() EngineMetrics {
 // of traffic, so the first query per d does not pay construction
 // latency. The thresholds are all validated before any artifact is
 // built: an invalid d errors out without leaving the engine half-warmed.
+// All requested hierarchies are derived through one shared sweep (the
+// d-core level sets are nested), so warming many thresholds costs a
+// fraction of building them independently.
 func (e *Engine) Warm(ds ...int) error {
 	for _, d := range ds {
 		if d < 1 {
 			return fmt.Errorf("dccs: degree threshold d = %d, want ≥ 1", d)
 		}
 	}
-	pr := e.st.Load().pr
-	for _, d := range ds {
-		pr.Prepare(d)
+	return e.st.Load().pr.PrepareDs(context.Background(), ds...)
+}
+
+// WarmAll builds every distinct hierarchy the engine's graph admits — d
+// from 1 through MaxCoreness()+1, the sentinel every larger threshold
+// maps to — in one shared sweep, fully prepaying per-d construction for
+// any query mix. Cancelling ctx stops the sweep early, keeping exactly
+// the hierarchies that were fully completed; ctx == nil behaves like
+// context.Background().
+func (e *Engine) WarmAll(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return nil
+	return e.st.Load().pr.PrepareAll(ctx)
 }
 
 // SaveSnapshot persists the engine's cached artifacts — the per-layer
@@ -459,6 +472,10 @@ func (v View) Search(ctx context.Context, q Query) (*Result, error) {
 	if algo == "" || algo == AlgoAuto {
 		algo = autoAlgorithm(v.st.g, q.S)
 	}
+	if res, ok := v.trivialResult(q, algo); ok {
+		v.e.queries.Add(1)
+		return res, nil
+	}
 	var res *Result
 	var err error
 	switch algo {
@@ -477,4 +494,45 @@ func (v View) Search(ctx context.Context, q Query) (*Result, error) {
 		v.e.queries.Add(1)
 	}
 	return res, err
+}
+
+// trivialResult short-circuits queries that are provably empty before
+// any per-d artifact is built: a support threshold above the layer count
+// can never be met, and a degree threshold beyond the graph's maximum
+// coreness empties every per-layer d-core — the same structural fact
+// behind the cache key's sentinel clamp, so all queries sharing a
+// canonical key take the same path and stay interchangeable. Only
+// queries every downstream check would accept are admitted (parameter
+// and algorithm validation still speak first), which keeps the error
+// surface unchanged. The returned Stats reports the preprocessing the
+// full search would have observed — every vertex deleted — with zero
+// search effort; no hierarchy is built and no arena is touched.
+func (v View) trivialResult(q Query, algo Algorithm) (*Result, bool) {
+	g := v.st.g
+	if q.D < 1 || q.S < 1 || q.K < 1 {
+		return nil, false // let Options.Validate produce the error
+	}
+	switch algo {
+	case AlgoGreedy, AlgoBottomUp, AlgoExact:
+	case AlgoTopDown:
+		if g.L() > 64 {
+			return nil, false // preserve the top-down layer-limit error
+		}
+	default:
+		return nil, false // unknown algorithm: fall through to the error
+	}
+	if q.S <= g.L() && q.D <= v.st.pr.MaxCoreness() {
+		return nil, false
+	}
+	start := time.Now()
+	res := &Result{}
+	if !v.e.cfg.NoVertexDeletion {
+		// With s > l no vertex reaches the support threshold, and beyond
+		// the maximum coreness every d-core is empty from the start —
+		// either way the §IV-C fixpoint deletes the whole graph.
+		res.Stats.PreprocessRemoved = g.N()
+	}
+	res.Stats.Algorithm = string(algo)
+	res.Stats.Elapsed = time.Since(start)
+	return res, true
 }

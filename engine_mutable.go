@@ -56,6 +56,7 @@ type UpdateStats struct {
 	DirtyLayers            int // layers whose coreness was recomputed
 	InvalidatedHierarchies int // per-d artifacts dropped by the batch
 	RetainedHierarchies    int // per-d artifacts carried over unchanged
+	RebuiltHierarchies     int // invalidated artifacts re-derived in one shared sweep
 
 	Version        uint64        // engine version after the batch
 	RebuildElapsed time.Duration // freeze + derive time (0 for no-ops)
@@ -132,6 +133,7 @@ func (e *Engine) ApplyUpdates(ctx context.Context, updates []EdgeUpdate) (*Updat
 	stats.DirtyLayers = info.DirtyLayers
 	stats.InvalidatedHierarchies = info.InvalidatedHierarchies
 	stats.RetainedHierarchies = info.RetainedHierarchies
+	stats.RebuiltHierarchies = info.RebuiltHierarchies
 	stats.Version = st.version + 1
 	e.st.Store(&engineState{g: ng, pr: np, version: st.version + 1})
 	return stats, nil

@@ -101,6 +101,86 @@ func TestEngineWarm(t *testing.T) {
 	}
 }
 
+// TestEngineWarmAll prepays every distinct hierarchy in one sweep: a
+// query for ANY d afterwards never builds.
+func TestEngineWarmAll(t *testing.T) {
+	eng := newTestEngine(t)
+	if err := eng.WarmAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	builds := eng.Metrics().HierarchyBuilds
+	if builds < 2 {
+		t.Fatalf("WarmAll built %d hierarchies, want ≥ 2", builds)
+	}
+	for _, d := range []int{1, 2, 3, 1000} {
+		if _, err := eng.Search(context.Background(), Query{D: d, S: 2, K: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := eng.Metrics(); m.HierarchyBuilds != builds {
+		t.Errorf("queries after WarmAll rebuilt hierarchies: %d, want %d", m.HierarchyBuilds, builds)
+	}
+}
+
+// TestEngineTrivialShortCircuit pins the admission-time prune: queries
+// that are provably empty — support above the layer count, or degree
+// beyond the maximum coreness — return an empty result with preprocessing
+// stats and never trigger a hierarchy build; invalid queries still error.
+func TestEngineTrivialShortCircuit(t *testing.T) {
+	eng := newTestEngine(t)
+	ctx := context.Background()
+	g := eng.Graph()
+
+	trivial := []Query{
+		{D: 2, S: g.L() + 1, K: 2},                       // support unreachable
+		{D: 1 << 30, S: 2, K: 2},                         // degree beyond max coreness
+		{D: 1 << 30, S: 2, K: 2, Algorithm: AlgoGreedy},  // explicit algorithms too
+		{D: 2, S: g.L() + 5, K: 1, Algorithm: AlgoExact}, // exact path included
+	}
+	for i, q := range trivial {
+		res, err := eng.Search(ctx, q)
+		if err != nil {
+			t.Fatalf("trivial query %d errored: %v", i, err)
+		}
+		if len(res.Cores) != 0 || res.CoverSize != 0 {
+			t.Fatalf("trivial query %d returned %d cores (cover %d), want empty", i, len(res.Cores), res.CoverSize)
+		}
+		if res.Stats.PreprocessRemoved != g.N() {
+			t.Errorf("trivial query %d: PreprocessRemoved = %d, want %d", i, res.Stats.PreprocessRemoved, g.N())
+		}
+		if res.Stats.Algorithm == "" || res.Stats.Algorithm == string(AlgoAuto) {
+			t.Errorf("trivial query %d: algorithm provenance missing (%q)", i, res.Stats.Algorithm)
+		}
+	}
+	if m := eng.Metrics(); m.HierarchyBuilds != 0 {
+		t.Errorf("short-circuited queries built %d hierarchies, want 0", m.HierarchyBuilds)
+	}
+	if m := eng.Metrics(); m.Queries != int64(len(trivial)) {
+		t.Errorf("Queries = %d, want %d", m.Queries, len(trivial))
+	}
+
+	// The canonical key for a short-circuited query must still be stable
+	// and clamped, so layered caches store one entry per equivalence class.
+	k1 := eng.CacheKey(Query{D: 1 << 30, S: 2, K: 2})
+	k2 := eng.CacheKey(Query{D: 1 << 20, S: 2, K: 2})
+	if k1 != k2 {
+		t.Errorf("beyond-coreness queries got distinct cache keys:\n%s\n%s", k1, k2)
+	}
+
+	// Error surface unchanged: invalid parameters and unknown algorithms
+	// speak before the short-circuit.
+	for _, q := range []Query{
+		{D: 0, S: 2, K: 2},
+		{D: 2, S: 0, K: 2},
+		{D: 2, S: g.L() + 1, K: 0},
+		{D: 1 << 30, S: 2, K: 2, Algorithm: "bogus"},
+	} {
+		if _, err := eng.Search(ctx, q); err == nil {
+			t.Errorf("invalid query %+v accepted", q)
+		}
+	}
+}
+
 // TestStatsAlgorithmProvenance checks that every path records which
 // algorithm actually ran — including the silent bottom-up fallback for
 // graphs beyond the 64-layer top-down limit.

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"slices"
 
 	"repro/internal/kcore"
@@ -37,12 +38,16 @@ type DirtySet struct {
 	MaxDirtyD int
 }
 
-// DeriveInfo reports what a Derive call preserved and discarded, for
-// metrics and update responses.
+// DeriveInfo reports what a Derive call preserved, discarded and rebuilt,
+// for metrics and update responses.
 type DeriveInfo struct {
 	DirtyLayers            int
 	RetainedHierarchies    int
 	InvalidatedHierarchies int
+	// RebuiltHierarchies counts the invalidated thresholds eagerly rebuilt
+	// on the new handle — all of them, shared through one sweep, except
+	// where the sentinel clamp coalesced several old entries into one.
+	RebuiltHierarchies int
 }
 
 // Version returns the graph version this handle's artifacts correspond
@@ -60,7 +65,8 @@ func (pr *Prepared) Version() uint64 { return pr.version.Load() }
 //     re-pointed at a union adjacency whose dirty rows were patched from
 //     g (Lemma 9's seed flood must see the new edges); entries at or
 //     below the bound — and entries whose d exceeds the new
-//     maxCoreness+1 sentinel clamp — are dropped and rebuild lazily.
+//     maxCoreness+1 sentinel clamp — are dropped and eagerly rebuilt on
+//     the new handle, all sharing one sweep (see rebuildHierarchies).
 //
 // pr itself is never mutated: queries running against the old handle
 // keep observing a consistent pre-update state. The returned handle is
@@ -119,6 +125,7 @@ func (pr *Prepared) Derive(g *multilayer.Graph, dirty DirtySet, version uint64) 
 		hier *hierarchy
 	}
 	var keep []kept
+	var rebuild []int
 	for _, d := range ds {
 		a := pr.byD[d]
 		if !a.done.Load() || a.hier == nil {
@@ -131,12 +138,17 @@ func (pr *Prepared) Derive(g *multilayer.Graph, dirty DirtySet, version uint64) 
 			keep = append(keep, kept{d: d, hier: a.hier})
 		} else {
 			info.InvalidatedHierarchies++
+			if d > maxCoreness+1 {
+				d = maxCoreness + 1 // rebuild the sentinel the old entry now maps to
+			}
+			rebuild = append(rebuild, d)
 		}
 	}
 	pr.mu.Unlock()
 	info.RetainedHierarchies = len(keep)
 
 	if len(keep) == 0 {
+		info.RebuiltHierarchies = np.rebuildHierarchies(rebuild)
 		return np, info
 	}
 
@@ -173,5 +185,24 @@ func (pr *Prepared) Derive(g *multilayer.Graph, dirty DirtySet, version uint64) 
 		np.byD[k.d] = a
 	}
 	np.mu.Unlock()
+	info.RebuiltHierarchies = np.rebuildHierarchies(rebuild)
 	return np, info
+}
+
+// rebuildHierarchies eagerly re-derives the invalidated thresholds on the
+// new handle through one shared sweep (PrepareDs), so a warm cache stays
+// warm across an update batch at a fraction of the per-d rebuild cost the
+// first queries would otherwise pay serially. The list may repeat values
+// (sentinel coalescing); PrepareDs dedupes and skips anything already
+// installed. It returns the number of hierarchies actually built.
+func (pr *Prepared) rebuildHierarchies(ds []int) int {
+	if len(ds) == 0 {
+		return 0
+	}
+	before := pr.hierarchyBuilds.Load()
+	// Background context: Derive runs to completion once a batch has
+	// mutated the store (see Engine.ApplyUpdates), so the rebuild does too
+	// — PrepareDs cannot fail on a clamped, ≥ 1 threshold list.
+	_ = pr.PrepareDs(context.Background(), ds...)
+	return int(pr.hierarchyBuilds.Load() - before)
 }

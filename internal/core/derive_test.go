@@ -132,6 +132,9 @@ func TestDeriveRetainsAboveBound(t *testing.T) {
 	derived, info := pr.Derive(g2, DirtySet{
 		Layers: res.DirtyLayers, UnionVerts: res.Touched, MaxDirtyD: res.MaxDirtyD,
 	}, 1)
+	// Thresholds under the bound (if any) were rebuilt inside Derive;
+	// serving queries must add nothing on top of that baseline.
+	builds = derived.Counters().HierarchyBuilds
 
 	wantKept := 0
 	for d := res.MaxDirtyD + 1; d <= maxd; d++ {
@@ -166,7 +169,7 @@ func TestDeriveRetainsAboveBound(t *testing.T) {
 
 // TestDeriveInvalidatesAtBound is the complement: an insert inside the
 // dense region has a high degree bound, so warmed hierarchies at and
-// below it are invalidated and rebuilt lazily on next use.
+// below it are invalidated and eagerly rebuilt inside Derive.
 func TestDeriveInvalidatesAtBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	g := testutil.RandomCorrelatedGraph(rng, 80, 4, 0.3, 0.9, 0.02)
@@ -198,8 +201,13 @@ func TestDeriveInvalidatesAtBound(t *testing.T) {
 	if info.InvalidatedHierarchies != 1 {
 		t.Fatalf("invalidated %d hierarchies, want 1 (d=2 <= bound %d)", info.InvalidatedHierarchies, res.MaxDirtyD)
 	}
+	if info.RebuiltHierarchies != 1 {
+		t.Fatalf("rebuilt %d hierarchies inside Derive, want 1", info.RebuiltHierarchies)
+	}
 
-	// The invalidated threshold rebuilds lazily and answers like fresh.
+	// The rebuilt threshold serves without further builds and answers
+	// like fresh.
+	base := derived.Counters().HierarchyBuilds
 	fresh := NewPrepared(g2, 1)
 	o := Options{D: 2, S: 2, K: 2, Seed: 1}
 	got, err := derived.BottomUp(context.Background(), o)
@@ -212,6 +220,9 @@ func TestDeriveInvalidatesAtBound(t *testing.T) {
 	}
 	if got.CoverSize != want.CoverSize || !reflect.DeepEqual(got.Cores, want.Cores) {
 		t.Fatal("rebuilt hierarchy answers differently from fresh build")
+	}
+	if b := derived.Counters().HierarchyBuilds; b != base {
+		t.Fatalf("eagerly rebuilt threshold rebuilt again on use: %d builds, want %d", b, base)
 	}
 }
 

@@ -39,6 +39,7 @@ func (pr *Prepared) Exact(ctx context.Context, opts Options) (*Result, error) {
 	g := pr.g
 	start := time.Now()
 	p := pr.newPrep(ctx, opts)
+	defer p.release()
 
 	// Enumerate distinct non-empty candidates (duplicates — different
 	// layer subsets with identical d-CCs — contribute identical

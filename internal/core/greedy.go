@@ -48,6 +48,7 @@ func (pr *Prepared) Greedy(ctx context.Context, opts Options) (*Result, error) {
 	g := pr.g
 	start := time.Now()
 	p := pr.newPrep(ctx, opts)
+	defer p.release()
 
 	// Phase 1 (lines 2–7): generate all candidate d-CCs.
 	all := p.materialize()

@@ -68,6 +68,60 @@ type hierarchy struct {
 // missing), so cancellation returns nil and the caller must not cache
 // the result. A nil ctx runs to completion.
 func buildHierarchy(ctx context.Context, g *multilayer.Graph, d int, coreness [][]int, unionAdj [][]int32, workers int) *hierarchy {
+	tr := kcore.NewTrackerFromCoreness(g, d, coreness, workers)
+	return runHierarchy(ctx, g, tr, unionAdj, newHierScratch(g))
+}
+
+// buildHierarchies builds the removal hierarchies for every threshold in
+// ds — which must be ascending, deduplicated and ≥ 1 — sharing one
+// kcore.Sweep for tracker initialization and one batch-loop scratch, so
+// the per-d initialization cost O(Σ m_i) is paid once for the whole set
+// instead of once per d (the level sets {coreness ≥ d} are nested; see
+// DESIGN.md § Shared multi-d hierarchy pass). emit is invoked with each
+// completed hierarchy in ascending-d order; every emitted hierarchy is
+// byte-identical to a buildHierarchy call for the same d.
+//
+// Cancellation is polled between batches like buildHierarchy's: on a
+// cancelled context the function stops and returns ctx.Err(), after
+// having emitted only fully completed thresholds — the caller may cache
+// exactly what was emitted.
+func buildHierarchies(ctx context.Context, g *multilayer.Graph, ds []int, coreness [][]int, unionAdj [][]int32, workers int, emit func(d int, hr *hierarchy)) error {
+	sweep := kcore.NewSweep(g, coreness, workers)
+	sc := newHierScratch(g)
+	for _, d := range ds {
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		hr := runHierarchy(ctx, g, sweep.TrackerAt(d), unionAdj, sc)
+		if hr == nil {
+			return ctx.Err()
+		}
+		emit(d, hr)
+	}
+	return nil
+}
+
+// hierScratch is the reusable state of the batch loop: the bucket queue
+// over support counts and the in-batch markers. runHierarchy resets it
+// on entry, so one scratch serves any sequence of builds.
+type hierScratch struct {
+	buckets [][]int32
+	inBatch []bool
+}
+
+func newHierScratch(g *multilayer.Graph) *hierScratch {
+	return &hierScratch{
+		buckets: make([][]int32, g.L()+1),
+		inBatch: make([]bool, g.N()),
+	}
+}
+
+// runHierarchy drives the §V-C batch loop over a positioned tracker and
+// assembles the hierarchy artifacts. The tracker must be freshly
+// positioned at the full graph (all vertices alive); its listeners are
+// installed here. Cancellation semantics are buildHierarchy's: a nil
+// return means the context was cancelled and nothing may be cached.
+func runHierarchy(ctx context.Context, g *multilayer.Graph, tr *kcore.Tracker, unionAdj [][]int32, sc *hierScratch) *hierarchy {
 	n := g.N()
 	idx := &tdIndex{
 		h:     make([]int32, n),
@@ -83,14 +137,18 @@ func buildHierarchy(ctx context.Context, g *multilayer.Graph, d int, coreness []
 		idx.unionAdj = unionAdj
 	}
 
-	tr := kcore.NewTrackerFromCoreness(g, d, coreness, workers)
-
 	// Bucket queue over support counts. Stale entries are tolerated and
 	// validated against the tracker on pop; each vertex re-enters a
 	// bucket at most once per Num decrement, so the total work is
 	// O(n·l) plus the tracker's own O(Σ m_i).
-	buckets := make([][]int32, g.L()+1)
-	inBatch := make([]bool, n)
+	buckets := sc.buckets
+	for c := range buckets {
+		buckets[c] = buckets[c][:0]
+	}
+	inBatch := sc.inBatch
+	for v := range inBatch {
+		inBatch[v] = false
+	}
 	for v := 0; v < n; v++ {
 		buckets[tr.Num(v)] = append(buckets[tr.Num(v)], int32(v))
 	}

@@ -13,7 +13,9 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -42,6 +44,10 @@ type Prepared struct {
 
 	corenessBuilds  atomic.Int64
 	hierarchyBuilds atomic.Int64
+
+	// arena pools per-query scratch (see queryArena); every buffer inside
+	// is sized for g, making the Prepared itself the natural pool key.
+	arena sync.Pool
 
 	// version is the graph version these artifacts were computed for: 0
 	// for a freshly constructed handle, the batch counter for handles
@@ -113,6 +119,97 @@ func (pr *Prepared) Prepare(d int) {
 	pr.hierarchyFor(context.Background(), d)
 }
 
+// PrepareDs eagerly builds the per-d removal hierarchies for every
+// listed degree threshold (each ≥ 1; duplicates and thresholds beyond
+// the maxCoreness+1 sentinel clamp coalesce) in ONE shared sweep: the
+// per-d tracker initializations, ordinarily O(Σ m_i) each, are derived
+// incrementally from a single pass because the d-cores are nested level
+// sets (see buildHierarchies). Thresholds already cached are skipped.
+// Every produced hierarchy is byte-identical to the one the lazy
+// hierarchyFor path would build.
+//
+// Cancelling ctx mid-sweep returns ctx.Err() after caching only the
+// thresholds whose hierarchies were fully completed — the per-d
+// cancellation contract, extended to the batch.
+func (pr *Prepared) PrepareDs(ctx context.Context, ds ...int) error {
+	coreness := pr.layerCoreness() // also resolves maxCoreness
+	var unionAdj [][]int32
+	if pr.g.L() <= 64 {
+		unionAdj = pr.unionAdjacency()
+	}
+	want := make([]int, 0, len(ds))
+	seen := make(map[int]bool, len(ds))
+	for _, d := range ds {
+		if d < 1 {
+			return fmt.Errorf("core: degree threshold d = %d, want ≥ 1", d)
+		}
+		if d > pr.maxCoreness+1 {
+			d = pr.maxCoreness + 1
+		}
+		if !seen[d] {
+			seen[d] = true
+			want = append(want, d)
+		}
+	}
+	slices.Sort(want)
+	pending := want[:0]
+	for _, d := range want {
+		if !pr.artifact(d).done.Load() {
+			pending = append(pending, d)
+		}
+	}
+	switch len(pending) {
+	case 0:
+		return nil
+	case 1:
+		// A single threshold gains nothing from a sweep; take the lazy
+		// path (which also serializes with concurrent builders for d).
+		if hr := pr.hierarchyFor(ctx, pending[0]); hr == nil {
+			return ctx.Err()
+		}
+		return nil
+	}
+	return buildHierarchies(ctx, pr.g, pending, coreness, unionAdj, pr.workers, pr.install)
+}
+
+// PrepareAll builds every distinct hierarchy the graph admits — d from 1
+// to maxCoreness+1, the sentinel serving all larger thresholds — in one
+// shared sweep. See PrepareDs for the cancellation contract.
+func (pr *Prepared) PrepareAll(ctx context.Context) error {
+	ds := make([]int, 0, pr.MaxCoreness()+1)
+	for d := 1; d <= pr.maxCoreness+1; d++ {
+		ds = append(ds, d)
+	}
+	return pr.PrepareDs(ctx, ds...)
+}
+
+// artifact returns (creating if needed) the cache slot for d. The caller
+// is responsible for the d clamp.
+func (pr *Prepared) artifact(d int) *dArtifact {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	a := pr.byD[d]
+	if a == nil {
+		a = &dArtifact{}
+		pr.byD[d] = a
+	}
+	return a
+}
+
+// install caches a fully built hierarchy for d unless a concurrent
+// builder won the slot; determinism makes the two interchangeable, so
+// the loser is simply dropped (and not counted as a build).
+func (pr *Prepared) install(d int, hr *hierarchy) {
+	a := pr.artifact(d)
+	a.buildMu.Lock()
+	defer a.buildMu.Unlock()
+	if a.hier == nil {
+		a.hier = hr
+		pr.hierarchyBuilds.Add(1)
+		a.done.Store(true)
+	}
+}
+
 // layerCoreness returns the d-independent per-layer coreness arrays,
 // computing them on first use (sharded across layers).
 func (pr *Prepared) layerCoreness() [][]int {
@@ -140,9 +237,21 @@ func (pr *Prepared) layerCoreness() [][]int {
 // built for graphs within the top-down layer limit, the sole consumer.
 func (pr *Prepared) unionAdjacency() [][]int32 {
 	pr.unionAdjOnce.Do(func() {
-		pr.unionAdj = make([][]int32, pr.g.N())
-		pool.Run(pr.workers, pr.g.N(), func(v int) {
-			pr.unionAdj[v] = pr.g.UnionNeighbors(v)
+		n := pr.g.N()
+		pr.unionAdj = make([][]int32, n)
+		// Chunked across vertex ranges rather than one pool task per
+		// vertex: the work per row is tiny, so per-vertex dispatch through
+		// the pool's atomic counter would dominate the pass.
+		const chunk = 1024
+		nchunks := (n + chunk - 1) / chunk
+		pool.Run(pr.workers, nchunks, func(c int) {
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			for v := lo; v < hi; v++ {
+				pr.unionAdj[v] = pr.g.UnionNeighbors(v)
+			}
 		})
 	})
 	return pr.unionAdj
@@ -168,13 +277,7 @@ func (pr *Prepared) hierarchyFor(ctx context.Context, d int) *hierarchy {
 	if pr.g.L() <= 64 {
 		unionAdj = pr.unionAdjacency()
 	}
-	pr.mu.Lock()
-	a := pr.byD[d]
-	if a == nil {
-		a = &dArtifact{}
-		pr.byD[d] = a
-	}
-	pr.mu.Unlock()
+	a := pr.artifact(d)
 	a.buildMu.Lock()
 	defer a.buildMu.Unlock()
 	if a.hier == nil {
@@ -193,8 +296,9 @@ func (pr *Prepared) hierarchyFor(ctx context.Context, d int) *hierarchy {
 // the vertex-deletion survivors and reduced per-layer d-cores for this
 // query's s are the level sets {h(v) ≥ s} and {coreh_i(v) ≥ s} of the
 // per-d hierarchy — two O(n·l) scans instead of a fresh decomposition.
-// The bitsets are freshly allocated per query, so queries never share
-// mutable state; the tdIndex is shared read-only.
+// The bitsets come from a pooled arena checked out for this query alone
+// (released by prep.release after result assembly), so concurrent
+// queries never share mutable state; the tdIndex is shared read-only.
 func (pr *Prepared) newPrep(ctx context.Context, opts Options) *prep {
 	g := pr.g
 	n := g.N()
@@ -224,21 +328,25 @@ func (pr *Prepared) newPrep(ctx context.Context, opts Options) *prep {
 		}
 		return p
 	}
+	a := pr.getArena()
 	p := &prep{
-		g:    g,
-		opts: opts,
-		ctx:  ctx,
-		idx:  hr.idx,
-		rng:  rand.New(rand.NewSource(opts.Seed)),
+		g:     g,
+		opts:  opts,
+		ctx:   ctx,
+		idx:   hr.idx,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		owner: pr,
+		arena: a,
 	}
 	minH := int32(opts.S)
+	p.alive = a.alive
 	if opts.NoVertexDeletion {
 		// Fig 28's No-VD ablation: every vertex stays, the cores are the
 		// initial d-cores (membership outlived threshold 0).
 		minH = 1
-		p.alive = bitset.NewFull(n)
+		p.alive.Fill()
 	} else {
-		p.alive = bitset.New(n)
+		p.alive.Clear()
 		for v := 0; v < n; v++ {
 			if hr.idx.h[v] >= minH {
 				p.alive.Add(v)
@@ -246,16 +354,16 @@ func (pr *Prepared) newPrep(ctx context.Context, opts Options) *prep {
 		}
 		p.stats.preprocessRemoved.Add(int64(n - p.alive.Count()))
 	}
-	p.cores = make([]*bitset.Set, g.L())
+	p.cores = a.cores
 	for i := 0; i < g.L(); i++ {
-		core := bitset.New(n)
+		core := a.cores[i]
+		core.Clear()
 		ch := hr.coreh[i]
 		for v := 0; v < n; v++ {
 			if ch[v] >= minH {
 				core.Add(v)
 			}
 		}
-		p.cores[i] = core
 	}
 	p.order = make([]int, g.L())
 	for i := range p.order {

@@ -31,6 +31,13 @@ type prep struct {
 	order []int         // position -> original layer id
 	rng   *rand.Rand
 	stats runStats
+
+	// owner/arena track the pooled scratch backing alive, cores and the
+	// top-down search buffers; release returns it once the Result — which
+	// never aliases arena memory — is assembled. Both are nil on the
+	// cancelled-build path, which allocates fresh.
+	owner *Prepared
+	arena *queryArena
 }
 
 // interrupted reports whether the query's context has been cancelled or

@@ -123,8 +123,10 @@ func (t *tdSearch) refineC(u *bitset.Set, lpos []int) *bitset.Set {
 	layers := p.layersOf(lpos)
 	need := int32(len(lpos))
 
-	// Lemma 8 scope.
-	z := bitset.New(g.N())
+	// Lemma 8 scope. The scope set lives in query scratch — it is consumed
+	// only within this call, so clearing on entry suffices.
+	z := t.scratchZ
+	z.Clear()
 	u.ForEach(func(v int) bool {
 		if t.idx.h[v] >= need {
 			z.Add(v)

@@ -62,19 +62,17 @@ func TestRemovePos(t *testing.T) {
 func newTDSearchForTest(g *multilayer.Graph, opts Options) *tdSearch {
 	p := preprocess(g, opts)
 	p.sortLayers(true)
-	t := &tdSearch{
+	state, counts, dplus, z := p.searchScratch()
+	return &tdSearch{
 		prep:          p,
 		topk:          coverage.New(g.N(), opts.K),
 		idx:           p.idx,
 		rng:           p.rng,
-		state:         make([]uint8, g.N()),
-		scratchCounts: make([]int32, g.N()),
+		state:         state,
+		scratchCounts: counts,
+		scratchZ:      z,
+		dplus:         dplus,
 	}
-	t.dplus = make([][]int32, g.L())
-	for i := range t.dplus {
-		t.dplus[i] = make([]int32, g.N())
-	}
-	return t
 }
 
 // TestRefineCExact verifies RefineC(U, L′) == dCC(G[U], L′) — which equals

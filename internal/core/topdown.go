@@ -48,21 +48,21 @@ func (pr *Prepared) TopDown(ctx context.Context, opts Options) (*Result, error) 
 	}
 	start := time.Now()
 	p := pr.newPrep(ctx, opts)
+	defer p.release()
 	topk := coverage.New(g.N(), opts.K)
 	p.initTopK(topk)
 	p.sortLayers(true) // ascending |C^d(G_i)| (§V-D)
 
+	state, counts, dplus, z := p.searchScratch()
 	t := &tdSearch{
 		prep:          p,
 		topk:          topk,
 		idx:           p.idx,
 		rng:           p.rng,
-		state:         make([]uint8, g.N()),
-		scratchCounts: make([]int32, g.N()),
-	}
-	t.dplus = make([][]int32, g.L())
-	for i := range t.dplus {
-		t.dplus[i] = make([]int32, g.N())
+		state:         state,
+		scratchCounts: counts,
+		scratchZ:      z,
+		dplus:         dplus,
 	}
 
 	// Root: C^d_[l] computed by dCC on the whole (preprocessed) graph.
@@ -105,6 +105,7 @@ type tdSearch struct {
 	state         []uint8
 	dplus         [][]int32
 	scratchCounts []int32
+	scratchZ      *bitset.Set
 	scratchStack  []int32
 	scratchQueue  []int32
 }
@@ -122,6 +123,7 @@ func (t *tdSearch) workerScratch() *tdSearch {
 		idx:           t.idx,
 		state:         make([]uint8, n),
 		scratchCounts: make([]int32, n),
+		scratchZ:      bitset.New(n),
 	}
 	w.dplus = make([][]int32, p.g.L())
 	for i := range w.dplus {

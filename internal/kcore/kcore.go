@@ -33,10 +33,17 @@ func Core(g *multilayer.Graph, layer int, alive *bitset.Set, d int) *bitset.Set 
 // The peel runs the standard cascade: compute per-layer degrees inside S,
 // enqueue vertices violating the threshold on any layer, and propagate
 // deletions. Each edge of each listed layer is touched O(1) times.
+//
+// The hot loops run on flat arrays only: a tri-state byte per vertex
+// (outside S / alive / dead) replaces the bitset membership probes of the
+// earlier implementation, the per-layer degree counters live in pooled
+// scratch (see dccScratch), and a vertex that already failed one layer's
+// threshold during initialization skips its remaining per-layer degree
+// scans — its counters can never be read. The result is byte-identical
+// to the reference DCCBin (see the property tests).
 func DCC(g *multilayer.Graph, S *bitset.Set, layers []int, d int) *bitset.Set {
-	cur := S.Clone()
 	if len(layers) == 0 || d <= 0 {
-		return cur
+		return S.Clone()
 	}
 	n := g.N()
 	// Hot loop: iterate each listed layer's flat CSR arrays directly.
@@ -45,50 +52,61 @@ func DCC(g *multilayer.Graph, S *bitset.Set, layers []int, d int) *bitset.Set {
 	for idx, layer := range layers {
 		offs[idx], nbrs[idx] = g.LayerCSR(layer)
 	}
-	// deg[idx][v] = degree of v within cur on layers[idx].
-	deg := make([][]int32, len(layers))
-	for idx := range layers {
-		deg[idx] = make([]int32, n)
-	}
-	queue := make([]int32, 0, 256)
-	dead := bitset.New(n)
+	sc := getDCCScratch(n, len(layers))
+	in, deg := sc.state, sc.deg
+	members, queue := sc.members[:0], sc.queue[:0]
+	S.ForEach(func(v int) bool {
+		in[v] = 1
+		members = append(members, int32(v))
+		return true
+	})
 
-	cur.ForEach(func(v int) bool {
+	for _, v32 := range members {
+		v := int(v32)
 		for idx := range layers {
 			dv := int32(0)
 			for _, u := range nbrs[idx][offs[idx][v]:offs[idx][v+1]] {
-				if cur.Contains(int(u)) {
+				if in[u] != 0 {
 					dv++
 				}
 			}
 			deg[idx][v] = dv
-			if dv < int32(d) && !dead.Contains(v) {
-				dead.Add(v)
-				queue = append(queue, int32(v))
+			if dv < int32(d) {
+				in[v] = 2
+				queue = append(queue, v32)
+				break // remaining layers' counters are never read for a dead vertex
 			}
 		}
-		return true
-	})
+	}
 
 	for len(queue) > 0 {
 		v := int(queue[len(queue)-1])
 		queue = queue[:len(queue)-1]
-		cur.Remove(v)
 		for idx := range layers {
-			for _, u := range nbrs[idx][offs[idx][v]:offs[idx][v+1]] {
-				uu := int(u)
-				if !cur.Contains(uu) || dead.Contains(uu) {
+			for _, u32 := range nbrs[idx][offs[idx][v]:offs[idx][v+1]] {
+				u := int(u32)
+				if in[u] != 1 {
 					continue
 				}
-				deg[idx][uu]--
-				if deg[idx][uu] < int32(d) {
-					dead.Add(uu)
-					queue = append(queue, u)
+				deg[idx][u]--
+				if deg[idx][u] < int32(d) {
+					in[u] = 2
+					queue = append(queue, u32)
 				}
 			}
 		}
 	}
-	return cur
+
+	out := bitset.New(n)
+	for _, v32 := range members {
+		if in[v32] == 1 {
+			out.Add(int(v32))
+		}
+		in[v32] = 0 // restore the scratch invariant
+	}
+	sc.members, sc.queue = members, queue
+	putDCCScratch(sc)
+	return out
 }
 
 // Coreness computes the full core decomposition of one layer restricted
@@ -99,7 +117,7 @@ func DCC(g *multilayer.Graph, S *bitset.Set, layers []int, d int) *bitset.Set {
 func Coreness(g *multilayer.Graph, layer int, alive *bitset.Set) []int {
 	n := g.N()
 	if alive == nil {
-		alive = bitset.NewFull(n)
+		return corenessFull(g, layer)
 	}
 	offs, nbrs := g.LayerCSR(layer) // hot loop: flat CSR iteration
 	coreness := make([]int, n)
@@ -154,6 +172,71 @@ func Coreness(g *multilayer.Graph, layer int, alive *bitset.Set) []int {
 		for _, u32 := range nbrs[offs[v]:offs[v+1]] {
 			u := int(u32)
 			if !alive.Contains(u) || deg[u] <= deg[v] {
+				continue
+			}
+			du, pu := deg[u], pos[u]
+			pw := bin[du]
+			w := int(vert[pw])
+			if u != w {
+				pos[u], pos[w] = pw, pu
+				vert[pu], vert[pw] = int32(w), int32(u)
+			}
+			bin[du]++
+			deg[u]--
+		}
+	}
+	return coreness
+}
+
+// corenessFull is the unmasked specialization of Coreness: with every
+// vertex alive the initial degrees are the CSR row lengths and the bin
+// sort needs no membership probes, so the whole decomposition runs on
+// flat arrays in O(n + m). It performs the same vertex and neighbor
+// visits in the same order as the masked path over a full mask, so the
+// output is identical (see TestCorenessFullMatchesMasked).
+func corenessFull(g *multilayer.Graph, layer int) []int {
+	n := g.N()
+	offs, nbrs := g.LayerCSR(layer) // hot loop: flat CSR iteration
+	coreness := make([]int, n)
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		dv := int(offs[v+1] - offs[v])
+		deg[v] = dv
+		if dv > maxDeg {
+			maxDeg = dv
+		}
+	}
+
+	// Bin sort vertices by degree.
+	bin := make([]int, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]]++
+	}
+	start := 0
+	for dv := 0; dv <= maxDeg; dv++ {
+		num := bin[dv]
+		bin[dv] = start
+		start += num
+	}
+	vert := make([]int32, n)
+	pos := make([]int, n)
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = int32(v)
+		bin[deg[v]]++
+	}
+	for dv := maxDeg; dv > 0; dv-- {
+		bin[dv] = bin[dv-1]
+	}
+	bin[0] = 0
+
+	for i := 0; i < n; i++ {
+		v := int(vert[i])
+		coreness[v] = deg[v]
+		for _, u32 := range nbrs[offs[v]:offs[v+1]] {
+			u := int(u32)
+			if deg[u] <= deg[v] {
 				continue
 			}
 			du, pu := deg[u], pos[u]

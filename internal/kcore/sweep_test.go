@@ -1,0 +1,113 @@
+package kcore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/testutil"
+)
+
+// trackersEqual compares the full observable state of two positioned
+// trackers: alive set, per-layer cores, in-core degrees (including the
+// -1 sentinel), and support counts.
+func trackersEqual(t *testing.T, got, want *Tracker, label string) {
+	t.Helper()
+	if !got.alive.Equal(want.alive) {
+		t.Fatalf("%s: alive sets differ", label)
+	}
+	for i := range want.cores {
+		if !got.cores[i].Equal(want.cores[i]) {
+			t.Fatalf("%s: layer %d cores differ", label, i)
+		}
+		for v := range want.deg[i] {
+			if got.deg[i][v] != want.deg[i][v] {
+				t.Fatalf("%s: layer %d deg[%d] = %d, want %d", label, i, v, got.deg[i][v], want.deg[i][v])
+			}
+		}
+	}
+	for v := range want.num {
+		if got.num[v] != want.num[v] {
+			t.Fatalf("%s: num[%d] = %d, want %d", label, v, got.num[v], want.num[v])
+		}
+	}
+}
+
+// TestSweepMatchesFromCoreness pins the byte-identity contract the shared
+// multi-d hierarchy pass relies on: for every threshold, the tracker a
+// Sweep hands out is indistinguishable from an independently built
+// NewTrackerFromCoreness tracker — both in its initial state and in its
+// behaviour under an identical removal sequence.
+func TestSweepMatchesFromCoreness(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(40 + seed))
+		g := testutil.RandomCorrelatedGraph(rng, 120, 4, 0.2, 0.85, 0.1)
+		coreness := make([][]int, g.L())
+		maxc := 0
+		for i := range coreness {
+			coreness[i] = Coreness(g, i, nil)
+			for _, c := range coreness[i] {
+				if c > maxc {
+					maxc = c
+				}
+			}
+		}
+		if maxc < 2 {
+			t.Fatalf("seed %d: test graph too sparse (max coreness %d)", seed, maxc)
+		}
+
+		sw := NewSweep(g, coreness, 3)
+		for d := 1; d <= maxc+1; d++ {
+			got := sw.TrackerAt(d)
+			want := NewTrackerFromCoreness(g, d, coreness, 1)
+			trackersEqual(t, got, want, "initial state")
+
+			// The shell must also *behave* identically: replay one removal
+			// sequence on both (the next TrackerAt resets the shell from
+			// the sweep's base state, so mutating it here is safe).
+			for v := 0; v < g.N(); v += 7 {
+				got.RemoveVertex(v)
+				want.RemoveVertex(v)
+			}
+			trackersEqual(t, got, want, "after removals")
+		}
+	}
+}
+
+// TestSweepAscendingOnly pins the single-consumer contract: thresholds
+// must be requested in ascending order.
+func TestSweepAscendingOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := testutil.RandomCorrelatedGraph(rng, 40, 3, 0.3, 0.85, 0.1)
+	coreness := make([][]int, g.L())
+	for i := range coreness {
+		coreness[i] = Coreness(g, i, nil)
+	}
+	sw := NewSweep(g, coreness, 1)
+	sw.TrackerAt(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending TrackerAt did not panic")
+		}
+	}()
+	sw.TrackerAt(2)
+}
+
+// TestCorenessFullMatchesMasked pins the unmasked fast path of Coreness
+// against the masked implementation over a full mask — the two must make
+// identical visit decisions, hence produce identical output.
+func TestCorenessFullMatchesMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 4; trial++ {
+		g := testutil.RandomCorrelatedGraph(rng, 90, 3, 0.15+0.1*float64(trial), 0.8, 0.1)
+		for layer := 0; layer < g.L(); layer++ {
+			got := Coreness(g, layer, nil)
+			want := Coreness(g, layer, bitset.NewFull(g.N()))
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("trial %d layer %d: coreness[%d] = %d, want %d", trial, layer, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}

@@ -20,8 +20,14 @@ type Tracker struct {
 	d     int
 	alive *bitset.Set   // vertices still present in the graph
 	cores []*bitset.Set // cores[i] = d-core of G_i restricted to alive
-	deg   [][]int32     // deg[i][v] = degree of v inside cores[i], valid while v ∈ cores[i]
 	num   []int32       // num[v] = Num(v), valid while v ∈ alive
+
+	// deg[i][v] = degree of v inside cores[i] while v ∈ cores[i], and the
+	// sentinel -1 otherwise. The sentinel makes the peel's inner loop a
+	// single flat array access — membership test and counter load in one —
+	// instead of a bitset probe plus a separate degree load; cores[i] is
+	// kept in sync for the Core/CoreLayers accessors.
+	deg [][]int32
 
 	// NumListener, when non-nil, is invoked with every vertex whose Num
 	// value decreases as a side effect of core maintenance (not for the
@@ -36,6 +42,10 @@ type Tracker struct {
 	// uses it to record, per layer, the threshold at which each vertex
 	// drops out of that layer's d-core.
 	CoreListener func(layer, v int)
+
+	// queue is the cascade worklist of removeFromCore, kept on the
+	// tracker so the (very hot) per-removal calls never allocate.
+	queue []int32
 }
 
 // NewTracker computes the initial per-layer d-cores of g restricted to
@@ -64,11 +74,15 @@ func NewTrackerN(g *multilayer.Graph, d int, alive *bitset.Set, workers int) *Tr
 	}
 	pool.Run(workers, g.L(), func(i int) {
 		t.cores[i] = Core(g, i, t.alive, d)
-		t.deg[i] = make([]int32, n)
+		di := make([]int32, n)
+		for v := range di {
+			di[v] = -1
+		}
 		t.cores[i].ForEach(func(v int) bool {
-			t.deg[i][v] = int32(g.DegreeIn(i, v, t.cores[i]))
+			di[v] = int32(g.DegreeIn(i, v, t.cores[i]))
 			return true
 		})
+		t.deg[i] = di
 	})
 	t.sumNum()
 	return t
@@ -93,12 +107,30 @@ func NewTrackerFromCoreness(g *multilayer.Graph, d int, coreness [][]int, worker
 		num:   make([]int32, n),
 	}
 	pool.Run(workers, g.L(), func(i int) {
-		t.cores[i] = CoreFromCoreness(coreness[i], d)
-		t.deg[i] = make([]int32, n)
-		t.cores[i].ForEach(func(v int) bool {
-			t.deg[i][v] = int32(g.DegreeIn(i, v, t.cores[i]))
-			return true
-		})
+		// Flat initialization straight off the CSR: membership in the
+		// initial core is the level-set test coreness ≥ d, so neither the
+		// core bitset nor DegreeIn's per-neighbor Contains probes are
+		// needed to count in-core degrees.
+		cn := coreness[i]
+		offs, nbrs := g.LayerCSR(i)
+		core := bitset.New(n)
+		di := make([]int32, n)
+		for v := 0; v < n; v++ {
+			if cn[v] < d {
+				di[v] = -1
+				continue
+			}
+			core.Add(v)
+			dv := int32(0)
+			for _, u := range nbrs[offs[v]:offs[v+1]] {
+				if cn[u] >= d {
+					dv++
+				}
+			}
+			di[v] = dv
+		}
+		t.cores[i] = core
+		t.deg[i] = di
 	})
 	t.sumNum()
 	return t
@@ -151,7 +183,7 @@ func (t *Tracker) RemoveVertex(v int) {
 		return
 	}
 	for i := range t.cores {
-		if t.cores[i].Contains(v) {
+		if t.deg[i][v] >= 0 {
 			t.removeFromCore(i, v)
 		}
 	}
@@ -159,22 +191,28 @@ func (t *Tracker) RemoveVertex(v int) {
 }
 
 // removeFromCore removes v from layer i's core and peels the fallout.
+// The inner loop tests membership through the deg sentinel (deg < 0 ⇔
+// outside the core), so each neighbor costs one flat array access.
 func (t *Tracker) removeFromCore(layer, v int) {
 	core := t.cores[layer]
+	deg := t.deg[layer]
 	core.Remove(v)
+	deg[v] = -1
 	t.num[v]--
 	offs, nbrs := t.g.LayerCSR(layer) // hot loop: flat CSR iteration
-	queue := []int32{int32(v)}
+	queue := append(t.queue[:0], int32(v))
 	for len(queue) > 0 {
 		w := int(queue[len(queue)-1])
 		queue = queue[:len(queue)-1]
 		for _, u32 := range nbrs[offs[w]:offs[w+1]] {
 			u := int(u32)
-			if !core.Contains(u) {
+			du := deg[u]
+			if du < 0 {
 				continue
 			}
-			t.deg[layer][u]--
-			if t.deg[layer][u] < int32(t.d) {
+			du--
+			if du < int32(t.d) {
+				deg[u] = -1
 				core.Remove(u)
 				t.num[u]--
 				if t.NumListener != nil {
@@ -184,7 +222,10 @@ func (t *Tracker) removeFromCore(layer, v int) {
 					t.CoreListener(layer, u)
 				}
 				queue = append(queue, u32)
+			} else {
+				deg[u] = du
 			}
 		}
 	}
+	t.queue = queue[:0]
 }
