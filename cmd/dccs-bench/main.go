@@ -20,6 +20,9 @@
 //	dccs-bench -core -out ./out    # preprocessing primitives: shared multi-d
 //	                               # hierarchy sweep vs per-d builds, flat-peel
 //	                               # latency and allocs (BENCH_core.json)
+//	dccs-bench -batch -out ./out   # one /v1/search/batch vs N sequential cold
+//	                               # searches; mmap vs heap .mlgb open
+//	                               # (writes BENCH_batch.json)
 package main
 
 import (
@@ -43,11 +46,14 @@ func main() {
 	serve := flag.Bool("serve", false, "run the closed-loop HTTP serving benchmark instead of a figure")
 	dynamic := flag.Bool("dynamic", false, "run the live-graph update benchmark instead of a figure")
 	coreb := flag.Bool("core", false, "run the core-primitive benchmark (shared multi-d sweep, flat peel) instead of a figure")
+	batch := flag.Bool("batch", false, "run the batch-search and mmap-open benchmark instead of a figure")
 	flag.Parse()
 
 	s := &bench.Suite{Scale: *scale, Seed: *seed, Quick: *quick, OutDir: *out, W: os.Stdout}
 	var err error
-	if *coreb {
+	if *batch {
+		err = s.RunBatch()
+	} else if *coreb {
 		err = s.RunCore()
 	} else if *dynamic {
 		err = s.RunDynamic()

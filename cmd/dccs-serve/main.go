@@ -14,13 +14,23 @@
 //	dccs-serve -cache 4096 -max-inflight 16 \
 //	           -queue-depth 64 g.mlgb            # capacity tuning
 //	dccs-serve -mutable all g.mlgb               # accept live edge updates
+//	dccs-serve -mmap huge.mlgb                   # zero-copy mapped load
+//	dccs-serve -max-batch 128 g.mlgb             # batch endpoint sizing
 //
-// Endpoints (see README.md for the full reference):
+// -mmap opens .mlgb graphs through the OS page cache instead of heap
+// decoding them: startup is near-instant regardless of graph size, and
+// replicas serving the same file share one physical copy. Non-binary
+// graphs fall back to the normal load with a log note. See DESIGN.md
+// § mmap load for the trust model.
+//
+// Endpoints (see API.md — also served at /v1/docs — for the contract):
 //
 //	POST /v1/search              {"graph","d","s","k","seed","algorithm","timeout_ms",...}
+//	POST /v1/search/batch        {"graph","queries":[...],"timeout_ms"} (≤ -max-batch queries)
 //	GET  /v1/graphs              served graphs with engine metrics
 //	POST /v1/graphs/{id}/edges   apply an edge-update batch (-mutable graphs)
-//	GET  /healthz                liveness (503 while draining)
+//	GET  /v1/docs                this API's contract as markdown
+//	GET  /healthz                liveness (503 while draining) + per-graph version/mmap
 //	GET  /metrics                Prometheus text format
 //
 // On SIGINT/SIGTERM the server drains gracefully: new queries are
@@ -62,7 +72,9 @@ func main() {
 	snapshotInterval := flag.Duration("snapshot-interval", 0, "period of background snapshot saves (0 = only on shutdown)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries to drain")
 	mutable := flag.String("mutable", "", "comma-separated graph names accepting POST /v1/graphs/{id}/edges, or 'all'")
-	maxUpdateBytes := flag.Int64("max-update-bytes", 0, "max body size of an edge-update batch before 413 (0 = default 4 MiB)")
+	maxUpdateBytes := flag.Int64("max-update-bytes", 0, "max body size of an edge-update or search-batch request before 413 (0 = default 4 MiB)")
+	maxBatch := flag.Int("max-batch", 0, "max queries in one POST /v1/search/batch before 413 (0 = default 64)")
+	useMmap := flag.Bool("mmap", false, "open .mlgb graphs as zero-copy memory mappings instead of heap decoding")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
@@ -71,7 +83,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	specs, err := loadGraphs(flag.Args())
+	specs, mappings, err := loadGraphs(flag.Args(), *useMmap)
 	if err != nil {
 		log.Fatalf("dccs-serve: %v", err)
 	}
@@ -88,6 +100,7 @@ func main() {
 		SnapshotDir:      *snapshotDir,
 		SnapshotInterval: *snapshotInterval,
 		MaxUpdateBytes:   *maxUpdateBytes,
+		MaxBatchQueries:  *maxBatch,
 		Engine:           dccs.EngineConfig{Workers: *workers},
 		Logf:             log.Printf,
 	}, specs...)
@@ -130,20 +143,35 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	// Shutdown's error carries both drain failures and snapshot-persist
+	// failures from the final save — surface it, don't swallow it: an
+	// operator relying on warm restarts needs to know the snapshot is
+	// stale before the next deploy, not after.
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("dccs-serve: %v", err)
+		log.Printf("dccs-serve: shutdown: %v", err)
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("dccs-serve: http shutdown: %v", err)
+	}
+	// Unmap only after every handler has finished: queries alias the
+	// mapped CSR arrays while running.
+	for _, mg := range mappings {
+		if err := mg.Close(); err != nil {
+			log.Printf("dccs-serve: unmap: %v", err)
+		}
 	}
 	log.Print("dccs-serve: bye")
 }
 
 // loadGraphs resolves the positional arguments: either bare paths
 // (served under the file's base name without extension) or name=path
-// pairs.
-func loadGraphs(args []string) ([]server.GraphSpec, error) {
+// pairs. With useMmap set, binary .mlgb files are opened as zero-copy
+// memory mappings (text graphs fall back to the heap load with a log
+// note); the returned handles must stay open until the server has
+// drained and are closed by main after shutdown.
+func loadGraphs(args []string, useMmap bool) ([]server.GraphSpec, []*dccs.MappedGraph, error) {
 	specs := make([]server.GraphSpec, 0, len(args))
+	var mappings []*dccs.MappedGraph
 	for _, arg := range args {
 		name, path, ok := strings.Cut(arg, "=")
 		if !ok {
@@ -152,16 +180,40 @@ func loadGraphs(args []string) ([]server.GraphSpec, error) {
 			name = strings.TrimSuffix(base, filepath.Ext(base))
 		}
 		start := time.Now()
-		g, err := dccs.ReadGraphFile(path)
-		if err != nil {
-			return nil, err
+		spec := server.GraphSpec{Name: name}
+		if useMmap {
+			mg, err := dccs.OpenMappedGraphFile(path)
+			switch {
+			case err == nil:
+				mappings = append(mappings, mg)
+				spec.Graph = mg.Graph
+				spec.Mmap = mg.ZeroCopy()
+				if !mg.ZeroCopy() {
+					log.Printf("dccs-serve: %s: mmap unsupported on this platform, loaded a private copy", name)
+				}
+			case errors.Is(err, dccs.ErrNotBinaryGraph):
+				log.Printf("dccs-serve: %s: not a binary graph, -mmap falling back to heap load", name)
+			default:
+				return nil, nil, err
+			}
 		}
-		st := g.Stats()
-		log.Printf("dccs-serve: loaded %s from %s (n=%d l=%d Σ|E|=%d) in %v",
-			name, path, st.N, st.Layers, st.TotalEdges, time.Since(start).Round(time.Millisecond))
-		specs = append(specs, server.GraphSpec{Name: name, Graph: g})
+		if spec.Graph == nil {
+			g, err := dccs.ReadGraphFile(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			spec.Graph = g
+		}
+		st := spec.Graph.Stats()
+		mode := "loaded"
+		if spec.Mmap {
+			mode = "mapped"
+		}
+		log.Printf("dccs-serve: %s %s from %s (n=%d l=%d Σ|E|=%d) in %v",
+			mode, name, path, st.N, st.Layers, st.TotalEdges, time.Since(start).Round(time.Millisecond))
+		specs = append(specs, spec)
 	}
-	return specs, nil
+	return specs, mappings, nil
 }
 
 // markMutable flags the named graphs (or all of them) as accepting edge
@@ -172,6 +224,9 @@ func markMutable(specs []server.GraphSpec, list string) error {
 	}
 	if list == "all" {
 		for i := range specs {
+			if specs[i].Mmap {
+				return fmt.Errorf("graph %q is memory-mapped; mapped graphs cannot be mutable (updates would rebuild the CSR arrays on the heap, forfeiting zero-copy while pinning the file)", specs[i].Name)
+			}
 			specs[i].Mutable = true
 		}
 		return nil
@@ -184,6 +239,9 @@ func markMutable(specs []server.GraphSpec, list string) error {
 		found := false
 		for i := range specs {
 			if specs[i].Name == name {
+				if specs[i].Mmap {
+					return fmt.Errorf("graph %q is memory-mapped; mapped graphs cannot be mutable (updates would rebuild the CSR arrays on the heap, forfeiting zero-copy while pinning the file)", name)
+				}
 				specs[i].Mutable = true
 				found = true
 				break

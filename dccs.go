@@ -112,6 +112,30 @@ func ReadGraph(r io.Reader) (*Graph, error) { return multilayer.Decode(r) }
 // gap.
 func ReadGraphFile(path string) (*Graph, error) { return multilayer.OpenFile(path) }
 
+// MappedGraph is a Graph whose CSR arrays alias a read-only memory
+// mapping of a .mlgb file: opening costs no decode-time copies (pages
+// fault in on demand), so even multi-GB graphs start in milliseconds
+// and replicas serving the same file share one physical copy through
+// the page cache. Close releases the mapping; the graph (and any Engine
+// built on it) must be discarded first, while earlier query results —
+// which never alias the mapping — stay valid. See the multilayer.Mapped
+// doc for the validation trust model (O(n) eager checks, Verify for the
+// full O(m) scan).
+type MappedGraph = multilayer.Mapped
+
+// OpenMappedGraphFile opens a .mlgb file as a memory-mapped MappedGraph
+// (dccs-serve -mmap uses this path). Unlike ReadGraphFile it accepts
+// only the binary format, validates lazily under the documented trust
+// model, and returns a handle that must be Closed when the graph is
+// retired.
+func OpenMappedGraphFile(path string) (*MappedGraph, error) { return multilayer.OpenMapped(path) }
+
+// ErrNotBinaryGraph is returned (wrapped) by OpenMappedGraphFile when
+// the file lacks the .mlgb magic — only binary images can be mapped.
+// Callers that treat mapping as an optimization (dccs-serve -mmap) test
+// for it with errors.Is and fall back to ReadGraphFile.
+var ErrNotBinaryGraph = multilayer.ErrNotBinaryGraph
+
 // Greedy runs the GD-DCCS algorithm (approximation ratio 1 − 1/e) as a
 // one-shot call: all preprocessing is recomputed per invocation.
 //

@@ -1,0 +1,12 @@
+package dccs
+
+import _ "embed"
+
+// APIDoc is the HTTP API contract (the repo's API.md), embedded at
+// build time so every server binary serves its own documentation at
+// GET /v1/docs — the deployed surface and its docs can never skew. The
+// server's route-diff test checks that every route it registers is
+// documented here.
+//
+//go:embed API.md
+var APIDoc string

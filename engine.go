@@ -325,6 +325,24 @@ func (e *Engine) Warm(ds ...int) error {
 	return e.st.Load().pr.PrepareDs(context.Background(), ds...)
 }
 
+// Warm builds the cached artifacts for the given degree thresholds
+// against this view's pinned generation; see Engine.Warm. Unlike the
+// engine-level method it is cancellable: cancelling ctx stops the shared
+// sweep early, keeping exactly the hierarchies already completed. This
+// is the batch-serving entry point — the server warms every distinct d a
+// batch needs in one sweep before fanning the per-query searches out.
+func (v View) Warm(ctx context.Context, ds ...int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for _, d := range ds {
+		if d < 1 {
+			return fmt.Errorf("dccs: degree threshold d = %d, want ≥ 1", d)
+		}
+	}
+	return v.st.pr.PrepareDs(ctx, ds...)
+}
+
 // WarmAll builds every distinct hierarchy the engine's graph admits — d
 // from 1 through MaxCoreness()+1, the sentinel every larger threshold
 // maps to — in one shared sweep, fully prepaying per-d construction for

@@ -6,8 +6,10 @@
 // decoder at all.
 //
 // Entry points are exported functions and methods whose names start with
-// Decode, Read, Open, Restore, or Load — the surface CLIs and the server
-// feed untrusted bytes into. For each one the analyzer walks the
+// Decode, Read, Open, Restore, Load, or Handle — the surfaces CLIs and
+// the server feed untrusted bytes into; Handle covers exported HTTP
+// handlers (HandleSearchBatch), whose request bodies are as adversarial
+// as any file. For each one the analyzer walks the
 // intra-package static call graph (closures included) and reports a
 // witness path when it reaches:
 //
@@ -42,7 +44,7 @@ var Analyzer = &vet.Analyzer{
 	Run:  run,
 }
 
-var entryPrefixes = []string{"Decode", "Read", "Open", "Restore", "Load"}
+var entryPrefixes = []string{"Decode", "Read", "Open", "Restore", "Load", "Handle"}
 
 // allExportedScope: packages where every exported function is an entry
 // point because the package contract itself promises error-not-panic.

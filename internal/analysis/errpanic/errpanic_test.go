@@ -8,5 +8,5 @@ import (
 )
 
 func TestErrpanic(t *testing.T) {
-	vettest.Run(t, "testdata", errpanic.Analyzer, "panicbad", "panicclean")
+	vettest.Run(t, "testdata", errpanic.Analyzer, "panicbad", "panicclean", "panicprefix_exempt")
 }

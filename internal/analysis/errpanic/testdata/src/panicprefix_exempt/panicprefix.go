@@ -1,0 +1,37 @@
+// Package panicprefix_exempt models an ordinary module package outside
+// the all-exported (leio-style) scope: only functions matching the
+// entry-name prefixes are decoder entries, so exported helpers with
+// other names may panic freely. The Handle prefix added for exported
+// HTTP handlers is exercised here.
+package panicprefix_exempt
+
+import "errors"
+
+func mustSize(n int) int {
+	if n < 0 {
+		panic("negative size")
+	}
+	return n
+}
+
+func HandleUpdate(body []byte) int { // want `decoder entry HandleUpdate can reach panic`
+	return mustSize(len(body) - 1)
+}
+
+func HandleQuery(body []byte) (int, error) {
+	if len(body) == 0 {
+		return 0, errors.New("empty body")
+	}
+	return len(body), nil
+}
+
+// Handler matches the Handle prefix too (Server.Handler does in the
+// real server package); a clean body keeps it finding-free.
+func Handler() func([]byte) (int, error) {
+	return HandleQuery
+}
+
+// Exported but matching no entry prefix: reachable panic is fine here.
+func Shuffle(n int) int {
+	return mustSize(n)
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunBatchQuick smoke-runs the batch benchmark at quick scale and
+// checks the report invariants the acceptance gate relies on: the batch
+// answers every query from the engine after one shared sweep, matches
+// the sequential results, and both artifacts' speedup fields are
+// populated and sane.
+func TestRunBatchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch bench runs full serving comparisons; skipped in -short")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	s := &Suite{W: &buf, Quick: true, Seed: 1, OutDir: dir}
+	if err := s.RunBatch(); err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"one /v1/search/batch", "mmap open .mlgb", "results match sequential: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_batch.json"))
+	if err != nil {
+		t.Fatalf("artifact: %v", err)
+	}
+	var report batchBenchReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("artifact decode: %v", err)
+	}
+	if report.Queries != 16 || report.EngineRuns != 16 || report.WarmedDs != 16 {
+		t.Errorf("queries/engine_runs/warmed_ds = %d/%d/%d, want 16/16/16",
+			report.Queries, report.EngineRuns, report.WarmedDs)
+	}
+	if !report.ResultsMatch {
+		t.Error("results_match = false")
+	}
+	if report.BatchSpeedup <= 1 {
+		t.Errorf("batch_speedup = %.2f, want > 1 (one shared sweep vs 16 cold replicas)", report.BatchSpeedup)
+	}
+	if report.MappedOpenSpeedup <= 1 {
+		t.Errorf("mapped_open_speedup = %.2f, want > 1", report.MappedOpenSpeedup)
+	}
+	if report.SequentialMS <= 0 || report.BatchMS <= 0 || report.HeapOpenMS <= 0 || report.MappedOpenMS <= 0 {
+		t.Errorf("latency fields must be positive: %+v", report)
+	}
+}

@@ -1,0 +1,46 @@
+package leio
+
+// Mapping is a read-only byte image of a file, memory-mapped where the
+// platform allows (see OpenMapping in mmap_unix.go / mmap_other.go).
+// The format decoders alias sections straight out of Data — the same
+// zero-copy path Reader takes over an os.ReadFile buffer — so a mapped
+// graph costs no decode-time copies at all.
+//
+// Lifetime rule: Close invalidates Data and every slice that aliases
+// it. Anything that must outlive the mapping (query results, summaries)
+// has to be copied out before Close; the engine's result contract
+// already guarantees this for searches (results are freshly allocated,
+// never CSR aliases).
+type Mapping struct {
+	data   []byte
+	mapped bool
+	closed bool
+}
+
+// Data returns the mapped bytes, or nil after Close. The returned slice
+// must be treated as read-only: the unix build maps the pages PROT_READ
+// and writing through them faults.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Mapped reports whether Data aliases an actual memory mapping (true on
+// the unix build) rather than a private heap copy (the portable
+// fallback). Either way the Close contract is the same.
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Close releases the mapping. It is idempotent; only the first call
+// unmaps, later calls return nil. After Close, Data returns nil and
+// previously returned slices must not be touched (on the unix build
+// they fault).
+func (m *Mapping) Close() error {
+	if m == nil || m.closed {
+		return nil
+	}
+	m.closed = true
+	data := m.data
+	m.data = nil
+	if !m.mapped || len(data) == 0 {
+		return nil
+	}
+	m.mapped = false
+	return unmap(data)
+}

@@ -1,0 +1,23 @@
+//go:build !unix
+
+package leio
+
+import "os"
+
+// OpenMapping loads the file at path into memory. This is the portable
+// fallback for platforms without a usable mmap: the bytes are a private
+// heap copy (Mapped reports false), so the zero-copy and shared-page-
+// cache properties of the unix build do not apply, but the Mapping
+// surface — including the "no use after Close" rule — is identical, so
+// callers need no build tags of their own.
+func OpenMapping(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data}, nil
+}
+
+// unmap releases a heap-backed pseudo-mapping: nothing to do beyond
+// dropping the reference, which Close already does.
+func unmap(data []byte) error { return nil }

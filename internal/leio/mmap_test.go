@@ -1,0 +1,72 @@
+package leio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenMappingRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	want := []byte("MLGBtest payload with some bytes\x00\x01\x02")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapping(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Data(), want) {
+		t.Fatalf("mapped data %q, want %q", m.Data(), want)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Data() != nil {
+		t.Error("Data() non-nil after Close")
+	}
+}
+
+func TestOpenMappingEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapping(path)
+	if err != nil {
+		t.Fatalf("empty file must map (zero-length data): %v", err)
+	}
+	if len(m.Data()) != 0 {
+		t.Errorf("%d bytes from an empty file", len(m.Data()))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMappingMissingFile(t *testing.T) {
+	if _, err := OpenMapping(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("no error for a missing file")
+	}
+}
+
+func TestMappingCloseIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapping(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+1, err)
+		}
+	}
+	var nilM *Mapping
+	if err := nilM.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}

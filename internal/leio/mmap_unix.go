@@ -1,0 +1,46 @@
+//go:build unix
+
+package leio
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// OpenMapping maps the file at path read-only into memory. The returned
+// Mapping's Data aliases the kernel page cache: no bytes are copied at
+// open time, first-touch faults stream pages in on demand, and replicas
+// mapping the same file share one physical copy. Close releases the
+// mapping; every slice derived from Data is invalid after that.
+func OpenMapping(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// Zero-length mmap is an error on most kernels; an empty mapping
+		// needs no pages anyway.
+		return &Mapping{}, nil
+	}
+	if size < 0 || size > math.MaxInt {
+		return nil, fmt.Errorf("leio: %s: size %d does not fit in memory", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("leio: mmap %s: %w", path, err)
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+// unmap releases the pages backing data.
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}

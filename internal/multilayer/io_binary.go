@@ -74,6 +74,14 @@ func (g *Graph) WriteBinaryFile(path string) error {
 // afterwards. Corrupt input of any shape yields an error, never a panic
 // (see FuzzDecodeBinary).
 func DecodeBinary(data []byte) (*Graph, error) {
+	return decodeBinary(data, true)
+}
+
+// decodeBinary is the shared decode body. With checkNeighbors true it
+// runs the full O(n+m) validateCSR per layer (the DecodeBinary contract
+// for untrusted input); with false it runs only the O(n) validateOffsets
+// half, the trust model OpenMapped documents.
+func decodeBinary(data []byte, checkNeighbors bool) (*Graph, error) {
 	r := leio.NewReader(data)
 	if magic := r.Bytes(4); r.Err() != nil || string(magic) != BinaryMagic {
 		return nil, fmt.Errorf("multilayer: not a binary graph (missing %q magic)", BinaryMagic)
@@ -101,8 +109,13 @@ func DecodeBinary(data []byte) (*Graph, error) {
 			if r.Err() != nil {
 				break
 			}
-			if err := validateCSR(int(n), offsets, neighbors); err != nil {
+			if err := validateOffsets(int(n), offsets, neighbors); err != nil {
 				return nil, fmt.Errorf("multilayer: binary graph layer %d: %w", i, err)
+			}
+			if checkNeighbors {
+				if err := validateNeighbors(int(n), offsets, neighbors); err != nil {
+					return nil, fmt.Errorf("multilayer: binary graph layer %d: %w", i, err)
+				}
 			}
 			g.layers[i] = csrLayer{offsets: offsets, neighbors: neighbors}
 		}
@@ -128,6 +141,19 @@ const (
 // on: offsets span the neighbor array monotonically, and every vertex's
 // range is strictly increasing with ids in [0,n) and no self-loop.
 func validateCSR(n int, offsets []int64, neighbors []int32) error {
+	if err := validateOffsets(n, offsets, neighbors); err != nil {
+		return err
+	}
+	return validateNeighbors(n, offsets, neighbors)
+}
+
+// validateOffsets is the O(n) half of validateCSR: the offsets array has
+// the right shape and spans the neighbor array monotonically. Once it
+// passes, every neighbors[offsets[v]:offsets[v+1]] slice is in bounds —
+// the property that makes out-of-range indexing (as opposed to wrong
+// answers) impossible, which is why the mmap trust model can defer the
+// O(m) half (see OpenMapped).
+func validateOffsets(n int, offsets []int64, neighbors []int32) error {
 	if len(offsets) != n+1 {
 		return fmt.Errorf("offsets length %d, want %d", len(offsets), n+1)
 	}
@@ -144,6 +170,15 @@ func validateCSR(n int, offsets []int64, neighbors []int32) error {
 		if offsets[v+1] < offsets[v] || offsets[v+1] > int64(len(neighbors)) {
 			return fmt.Errorf("offsets invalid at vertex %d", v)
 		}
+	}
+	return nil
+}
+
+// validateNeighbors is the O(m) half of validateCSR: per-vertex neighbor
+// ranges are strictly increasing with ids in [0,n) and no self-loops.
+// Callers must have passed validateOffsets first.
+func validateNeighbors(n int, offsets []int64, neighbors []int32) error {
+	for v := 0; v < n; v++ {
 		prev := int32(-1)
 		for _, u := range neighbors[offsets[v]:offsets[v+1]] {
 			if u < 0 || u >= int32(n) {

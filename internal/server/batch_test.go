@@ -1,0 +1,421 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+)
+
+// newHTTPServer wraps an already-constructed Server in an httptest
+// listener with shutdown cleanup, for tests that need a non-default
+// graph or Config.
+func newHTTPServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return ts
+}
+
+func postBatch(t *testing.T, url string, req BatchRequest) (*http.Response, BatchResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/search/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out BatchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+// checkBatchInvariant asserts the documented partition:
+// cache_hits + coalesced + engine_runs + errors = len(items).
+func checkBatchInvariant(t *testing.T, out BatchResponse) {
+	t.Helper()
+	if got := out.CacheHits + out.Coalesced + out.EngineRuns + out.Errors; got != len(out.Items) {
+		t.Errorf("partition %d+%d+%d+%d = %d, want len(items) = %d",
+			out.CacheHits, out.Coalesced, out.EngineRuns, out.Errors, got, len(out.Items))
+	}
+}
+
+// TestBatchMixedSources drives one batch through every per-item outcome
+// at once — cache hit, engine run, in-batch dup, validation error — and
+// checks order preservation, the partition invariant, and agreement
+// with the single-query endpoint.
+func TestBatchMixedSources(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Prime the cache with a single search so the batch sees a hit.
+	resp, single := postSearch(t, ts.URL, SearchRequest{D: 3, S: 2, K: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime status %d", resp.StatusCode)
+	}
+
+	resp, out := postBatch(t, ts.URL, BatchRequest{Queries: []BatchQuery{
+		{D: 3, S: 2, K: 2},          // 0: cache hit from the primed single search
+		{D: 2, S: 2, K: 2},          // 1: engine run
+		{D: 2, S: 2, K: 2},          // 2: dup of 1
+		{D: 0, S: 2, K: 2},          // 3: invalid (d < 1) — fails alone
+		{D: 2, S: 3, K: 1, Seed: 9}, // 4: engine run
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Items) != 5 {
+		t.Fatalf("%d items, want 5", len(out.Items))
+	}
+	for i, it := range out.Items {
+		if it.Index != i {
+			t.Errorf("item %d has index %d; order must be preserved", i, it.Index)
+		}
+	}
+	wantSources := []string{"cache", "engine", "dup", "", "engine"}
+	for i, want := range wantSources {
+		if out.Items[i].Source != want {
+			t.Errorf("item %d source %q, want %q", i, out.Items[i].Source, want)
+		}
+	}
+	if out.CacheHits != 1 || out.Coalesced != 1 || out.EngineRuns != 2 || out.Errors != 1 {
+		t.Errorf("counters hits=%d coalesced=%d engine=%d errors=%d, want 1/1/2/1",
+			out.CacheHits, out.Coalesced, out.EngineRuns, out.Errors)
+	}
+	checkBatchInvariant(t, out)
+	if !strings.Contains(out.Items[3].Error, "d = 0") {
+		t.Errorf("item 3 error %q, want a d-validation message", out.Items[3].Error)
+	}
+	if out.Items[3].Stats != nil || out.Items[3].Cores != nil {
+		t.Error("failed item must carry error and nothing else")
+	}
+	// Cache hit answers must be the primed single-query answer; dups must
+	// mirror their leader.
+	if out.Items[0].CoverSize != single.CoverSize {
+		t.Errorf("cache item cover %d, want %d", out.Items[0].CoverSize, single.CoverSize)
+	}
+	if out.Items[2].CoverSize != out.Items[1].CoverSize || len(out.Items[2].Cores) != len(out.Items[1].Cores) {
+		t.Error("dup item differs from its leader")
+	}
+	for _, i := range []int{1, 4} {
+		if out.Items[i].Stats == nil || out.Items[i].Stats.Algorithm == "" {
+			t.Errorf("engine item %d missing stats", i)
+		}
+	}
+	if len(out.WarmedDs) == 0 {
+		t.Error("warmed_ds empty, want the distinct thresholds of the misses")
+	}
+	if out.Graph != "fig1" {
+		t.Errorf("graph %q, want fig1", out.Graph)
+	}
+}
+
+func TestBatchRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatchQueries: 2})
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"bad json", `{"queries":[`, http.StatusBadRequest},
+		{"unknown field", `{"queries":[{"d":2,"s":2,"k":1}],"bogus":1}`, http.StatusBadRequest},
+		{"empty batch", `{"queries":[]}`, http.StatusBadRequest},
+		{"missing queries", `{}`, http.StatusBadRequest},
+		{"negative timeout", `{"queries":[{"d":2,"s":2,"k":1}],"timeout_ms":-1}`, http.StatusBadRequest},
+		{"unknown graph", `{"graph":"nope","queries":[{"d":2,"s":2,"k":1}]}`, http.StatusNotFound},
+		{"oversized batch", `{"queries":[{"d":2,"s":2,"k":1},{"d":3,"s":2,"k":1},{"d":4,"s":2,"k":1}]}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/search/batch", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.code {
+				body, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, tc.code, body)
+			}
+		})
+	}
+
+	t.Run("method", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/search/batch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET status %d, want 405", resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+			t.Fatalf("Allow %q, want POST", allow)
+		}
+	})
+}
+
+func TestBatchBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxUpdateBytes: 64})
+	big := BatchRequest{Queries: make([]BatchQuery, 8)}
+	for i := range big.Queries {
+		big.Queries[i] = BatchQuery{D: 2, S: 2, K: 1, Seed: int64(i)}
+	}
+	resp, _ := postBatch(t, ts.URL, big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 for a body over MaxUpdateBytes", resp.StatusCode)
+	}
+}
+
+// TestBatchDeadlineTruncatesNotCached expires the whole-batch budget
+// mid-computation: the item must come back 200 with a valid truncated
+// partial, and the partial must NOT enter the result cache (a second
+// identical batch must run the engine again, not serve the partial).
+func TestBatchDeadlineTruncatesNotCached(t *testing.T) {
+	s, err := New(Config{}, GraphSpec{Name: "slow", Graph: slowGraph()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, s)
+
+	slow := BatchQuery{D: 2, S: 8, K: 10, Algorithm: "exact"}
+	for round := 0; round < 2; round++ {
+		resp, out := postBatch(t, ts.URL, BatchRequest{
+			Queries:   []BatchQuery{slow},
+			TimeoutMS: 50,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: status %d", round, resp.StatusCode)
+		}
+		it := out.Items[0]
+		if it.Error != "" {
+			t.Fatalf("round %d: item error %q, want a truncated success", round, it.Error)
+		}
+		if !it.Truncated {
+			t.Fatalf("round %d: truncated=false after the batch budget expired", round)
+		}
+		// Source "engine" on BOTH rounds is the caching assertion: had the
+		// round-0 partial been cached, round 1 would answer from "cache".
+		if it.Source != "engine" {
+			t.Fatalf("round %d: source %q, want engine (truncated partials must not be cached)", round, it.Source)
+		}
+		checkBatchInvariant(t, out)
+	}
+}
+
+// TestBatchItemTimeout gives one item a tight per-item deadline inside
+// a generous batch budget: that item truncates, its sibling completes.
+func TestBatchItemTimeout(t *testing.T) {
+	s, err := New(Config{}, GraphSpec{Name: "slow", Graph: slowGraph()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, s)
+
+	resp, out := postBatch(t, ts.URL, BatchRequest{Queries: []BatchQuery{
+		{D: 2, S: 8, K: 10, Algorithm: "exact", TimeoutMS: 50},
+		{D: 2, S: 2, K: 1},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !out.Items[0].Truncated {
+		t.Error("item 0 not truncated despite its 50ms per-item deadline")
+	}
+	if out.Items[1].Error != "" || out.Items[1].Truncated {
+		t.Errorf("item 1 = %+v, want an untruncated success", out.Items[1])
+	}
+	checkBatchInvariant(t, out)
+}
+
+// TestBatchWeightClamp sends more distinct misses than MaxInflight: the
+// admission weight must clamp (otherwise acquireN could never collect)
+// and the batch must still answer every item.
+func TestBatchWeightClamp(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInflight: 2})
+	qs := make([]BatchQuery, 6)
+	for i := range qs {
+		qs[i] = BatchQuery{D: i%3 + 1, S: 2, K: 1, Seed: int64(i)}
+	}
+	resp, out := postBatch(t, ts.URL, BatchRequest{Queries: qs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Errors != 0 || len(out.Items) != 6 {
+		t.Fatalf("items=%d errors=%d, want 6/0", len(out.Items), out.Errors)
+	}
+	checkBatchInvariant(t, out)
+}
+
+// TestBatchSaturated429 wedges the single admission slot with a slow
+// query and checks that a batch needing a fresh computation is rejected
+// whole with 429 + Retry-After (QueueDepth < 0 disables queueing).
+func TestBatchSaturated429(t *testing.T) {
+	s, err := New(Config{MaxInflight: 1, QueueDepth: -1},
+		GraphSpec{Name: "slow", Graph: slowGraph()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, s)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postSearch(t, ts.URL, slowQuery(2000))
+	}()
+	// Wait until the slow query holds the only inflight slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.metrics.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow query never acquired the inflight slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body, _ := json.Marshal(BatchRequest{Queries: []BatchQuery{{D: 2, S: 2, K: 1, Seed: 77}}})
+	resp, err := http.Post(ts.URL+"/v1/search/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 while saturated", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	<-done
+}
+
+// TestBatchDraining503 checks the batch endpoint honors drain: after
+// Shutdown no new batch is accepted.
+func TestBatchDraining503(t *testing.T) {
+	g, _ := datasets.FourLayerExample()
+	s, err := New(Config{}, GraphSpec{Name: "fig1", Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postBatch(t, ts.URL, BatchRequest{Queries: []BatchQuery{{D: 2, S: 2, K: 1}}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 while draining", resp.StatusCode)
+	}
+}
+
+// TestBatchMetrics checks the batch counters reach the /metrics catalog.
+func TestBatchMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, out := postBatch(t, ts.URL, BatchRequest{Queries: []BatchQuery{
+		{D: 2, S: 2, K: 1},
+		{D: 2, S: 2, K: 1},
+		{D: 0, S: 2, K: 1},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	checkBatchInvariant(t, out)
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	blob, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(blob)
+	for _, want := range []string{
+		"dccs_batch_requests_total 1",
+		`dccs_batch_items_total{source="engine"} 1`,
+		`dccs_batch_items_total{source="dup"} 1`,
+		`dccs_batch_items_total{source="error"} 1`,
+		"dccs_batch_warmed_ds_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestHealthzGraphStatus checks /healthz reports per-graph version and
+// mmap mode.
+func TestHealthzGraphStatus(t *testing.T) {
+	g, _ := datasets.FourLayerExample()
+	s, err := New(Config{}, GraphSpec{Name: "fig1", Graph: g, Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHTTPServer(t, s)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Status      string        `json:"status"`
+		GraphStatus []graphHealth `json:"graph_status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" || len(out.GraphStatus) != 1 {
+		t.Fatalf("healthz %+v, want ok with one graph", out)
+	}
+	gs := out.GraphStatus[0]
+	if gs.Name != "fig1" || gs.Version != 0 || !gs.Mmap {
+		t.Fatalf("graph_status %+v, want {fig1 0 true}", gs)
+	}
+}
+
+// TestShutdownReportsSnapshotError points SnapshotDir below a regular
+// file so the final save cannot create its directory: Shutdown must
+// surface the failure instead of logging-and-forgetting (the PR 9 fix).
+func TestShutdownReportsSnapshotError(t *testing.T) {
+	plain := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := datasets.FourLayerExample()
+	s, err := New(Config{SnapshotDir: filepath.Join(plain, "snaps")},
+		GraphSpec{Name: "fig1", Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = s.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("Shutdown returned nil despite the snapshot dir being uncreatable")
+	}
+	if !strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("Shutdown error %q does not mention the snapshot failure", err)
+	}
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	dccs "repro"
+)
+
+// docRouteRe matches the endpoint headings of API.md — each route is
+// documented under a heading of the exact form:
+//
+//	### `POST /v1/search`
+var docRouteRe = regexp.MustCompile("(?m)^### `(GET|POST|PUT|DELETE|PATCH) ([^`]+)`$")
+
+// TestRoutesMatchAPIDoc diffs the server's route table against the
+// embedded API.md: every registered route must be documented, and every
+// documented route must exist. Adding an endpoint to Handler without
+// documenting it (or vice versa) fails here.
+func TestRoutesMatchAPIDoc(t *testing.T) {
+	documented := map[string]bool{}
+	for _, m := range docRouteRe.FindAllStringSubmatch(dccs.APIDoc, -1) {
+		documented[m[1]+" "+m[2]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no `### `METHOD /path`` headings found in the embedded API.md")
+	}
+
+	served := map[string]bool{}
+	for _, r := range Routes() {
+		served[r] = true
+	}
+
+	var missing, stale []string
+	for r := range served {
+		if !documented[r] {
+			missing = append(missing, r)
+		}
+	}
+	for r := range documented {
+		if !served[r] {
+			stale = append(stale, r)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) > 0 {
+		t.Errorf("routes served but not documented in API.md: %v", missing)
+	}
+	if len(stale) > 0 {
+		t.Errorf("routes documented in API.md but not served: %v", stale)
+	}
+}
+
+// TestRoutesAreLive probes every route in Routes() against a running
+// server and checks none of them falls through to the mux's plain-text
+// 404 — i.e. Routes() describes patterns Handler actually registers.
+func TestRoutesAreLive(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, route := range Routes() {
+		method, path, ok := strings.Cut(route, " ")
+		if !ok {
+			t.Fatalf("malformed route %q", route)
+		}
+		path = strings.ReplaceAll(path, "{graph}", "fig1")
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		// Our handlers answer JSON (or markdown/Prometheus text); the
+		// mux's fallthrough 404 is text/plain. Any status is fine — 400s
+		// for the stub bodies are expected — as long as a handler of ours
+		// answered.
+		ct := resp.Header.Get("Content-Type")
+		if resp.StatusCode == http.StatusNotFound && strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("%s: fell through to the mux 404 — route not registered", route)
+		}
+	}
+}
+
+// TestDocsEndpoint checks GET /v1/docs serves the embedded API.md.
+func TestDocsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/markdown") {
+		t.Errorf("Content-Type %q, want text/markdown", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != dccs.APIDoc {
+		t.Error("served docs differ from the embedded API.md")
+	}
+
+	post, err := http.Post(ts.URL+"/v1/docs", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/docs status %d, want 405", post.StatusCode)
+	}
+}

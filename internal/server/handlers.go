@@ -335,18 +335,35 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	}{out})
 }
 
+// graphHealth is one per-graph entry of GET /healthz: the graph's
+// current update version and whether it was loaded through the mmap
+// zero-copy path — the two facts an operator checks after a deploy
+// ("did the replica resume where it left off, on the load path I
+// asked for?").
+type graphHealth struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	Mmap    bool   `json:"mmap"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		Status  string  `json:"status"`
-		UptimeS float64 `json:"uptime_s"`
-		Graphs  int     `json:"graphs"`
+		Status      string        `json:"status"`
+		UptimeS     float64       `json:"uptime_s"`
+		Graphs      int           `json:"graphs"`
+		GraphStatus []graphHealth `json:"graph_status"`
+	}
+	gs := make([]graphHealth, 0, len(s.names))
+	for _, name := range s.names {
+		h := s.graphs[name]
+		gs = append(gs, graphHealth{Name: name, Version: h.eng.Version(), Mmap: h.mmap})
 	}
 	up := time.Since(s.start).Seconds()
 	if s.draining.Load() {
 		s.metrics.countStatus(http.StatusServiceUnavailable)
-		s.writeJSON(w, http.StatusServiceUnavailable, health{Status: "draining", UptimeS: up, Graphs: len(s.names)})
+		s.writeJSON(w, http.StatusServiceUnavailable, health{Status: "draining", UptimeS: up, Graphs: len(s.names), GraphStatus: gs})
 		return
 	}
 	s.metrics.countStatus(http.StatusOK)
-	s.writeJSON(w, http.StatusOK, health{Status: "ok", UptimeS: up, Graphs: len(s.names)})
+	s.writeJSON(w, http.StatusOK, health{Status: "ok", UptimeS: up, Graphs: len(s.names), GraphStatus: gs})
 }

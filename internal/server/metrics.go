@@ -31,6 +31,16 @@ type serverMetrics struct {
 
 	snapshotSaves atomic.Int64
 
+	// Batch search accounting (POST /v1/search/batch): whole-batch count
+	// and latency, plus per-item outcomes by how they were answered.
+	batchRequests atomic.Int64
+	batchNS       atomic.Int64
+	batchItemsEng atomic.Int64
+	batchItemsHit atomic.Int64
+	batchItemsDup atomic.Int64
+	batchItemsErr atomic.Int64
+	batchWarmedDs atomic.Int64
+
 	// Live-graph update accounting (POST /v1/graphs/{id}/edges).
 	updateBatches     atomic.Int64
 	updateInserted    atomic.Int64
@@ -51,6 +61,25 @@ func (m *serverMetrics) countUpdate(stats *dccs.UpdateStats) {
 	m.updateNoOps.Add(int64(stats.NoOps))
 	m.updateInvalidated.Add(int64(stats.InvalidatedHierarchies))
 	m.updateRebuildNS.Add(int64(stats.RebuildElapsed))
+}
+
+// countBatch accounts one completed batch: the handler latency plus
+// every item by outcome. batchRequests is counted at admission time by
+// the handler (so rejected batches still show up in the request count).
+func (m *serverMetrics) countBatch(items []BatchItem, elapsed time.Duration) {
+	m.batchNS.Add(int64(elapsed))
+	for i := range items {
+		switch {
+		case items[i].Error != "":
+			m.batchItemsErr.Add(1)
+		case items[i].Source == "cache":
+			m.batchItemsHit.Add(1)
+		case items[i].Source == "dup":
+			m.batchItemsDup.Add(1)
+		default:
+			m.batchItemsEng.Add(1)
+		}
+	}
 }
 
 func (m *serverMetrics) countSearch(source string, elapsed time.Duration) {
@@ -172,6 +201,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	p.typ("dccs_snapshot_saves_total", "counter")
 	p.counter("dccs_snapshot_saves_total", "", m.snapshotSaves.Load())
+
+	p.typ("dccs_batch_requests_total", "counter")
+	p.counter("dccs_batch_requests_total", "", m.batchRequests.Load())
+	p.typ("dccs_batch_seconds_total", "counter")
+	p.gauge("dccs_batch_seconds_total", "", time.Duration(m.batchNS.Load()).Seconds())
+	p.typ("dccs_batch_items_total", "counter")
+	p.counter("dccs_batch_items_total", `source="engine"`, m.batchItemsEng.Load())
+	p.counter("dccs_batch_items_total", `source="cache"`, m.batchItemsHit.Load())
+	p.counter("dccs_batch_items_total", `source="dup"`, m.batchItemsDup.Load())
+	p.counter("dccs_batch_items_total", `source="error"`, m.batchItemsErr.Load())
+	p.typ("dccs_batch_warmed_ds_total", "counter")
+	p.counter("dccs_batch_warmed_ds_total", "", m.batchWarmedDs.Load())
 
 	p.typ("dccs_update_batches_total", "counter")
 	p.counter("dccs_update_batches_total", "", m.updateBatches.Load())

@@ -42,11 +42,15 @@ type Config struct {
 	// SnapshotInterval, when positive and SnapshotDir is set, saves
 	// every engine's artifacts on this period in the background.
 	SnapshotInterval time.Duration
-	// MaxUpdateBytes bounds the body of POST /v1/graphs/{id}/edges;
-	// larger bodies are rejected with 413. 0 means 4 MiB. Update batches
-	// are materialized in memory before validation, so the bound is the
-	// lever that keeps a hostile client from ballooning the heap.
+	// MaxUpdateBytes bounds the body of POST /v1/graphs/{id}/edges and
+	// POST /v1/search/batch; larger bodies are rejected with 413. 0
+	// means 4 MiB. Both batch kinds are materialized in memory before
+	// validation, so the bound is the lever that keeps a hostile client
+	// from ballooning the heap.
 	MaxUpdateBytes int64
+	// MaxBatchQueries bounds how many queries one POST /v1/search/batch
+	// body may carry; larger batches are rejected with 413. 0 means 64.
+	MaxBatchQueries int
 	// Engine is the configuration shared by every engine this server
 	// builds.
 	Engine dccs.EngineConfig
@@ -81,6 +85,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxUpdateBytes <= 0 {
 		c.MaxUpdateBytes = 4 << 20
 	}
+	if c.MaxBatchQueries == 0 {
+		c.MaxBatchQueries = 64
+	}
+	if c.MaxBatchQueries < 1 {
+		c.MaxBatchQueries = 1
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -89,11 +99,17 @@ func (c Config) withDefaults() Config {
 
 // GraphSpec names one graph a Server serves. Mutable graphs accept
 // edge-update batches through POST /v1/graphs/{name}/edges; immutable
-// ones answer that endpoint with 409.
+// ones answer that endpoint with 409. Mmap marks a graph whose CSR
+// arrays alias an open file mapping (dccs.OpenMappedGraphFile; the
+// dccs-serve -mmap path): purely informational for the server — it is
+// reported per graph in /healthz so operators can confirm which load
+// path a replica took — but the caller owning the mapping must keep it
+// open until the Server is shut down.
 type GraphSpec struct {
 	Name    string
 	Graph   *dccs.Graph
 	Mutable bool
+	Mmap    bool
 }
 
 // graphHandle pairs a named graph with its long-lived engine.
@@ -101,6 +117,7 @@ type graphHandle struct {
 	name string
 	g    *dccs.Graph
 	eng  *dccs.Engine
+	mmap bool
 }
 
 // Server serves DCCS queries over HTTP for a fixed set of graphs, one
@@ -116,9 +133,13 @@ type Server struct {
 	flight *flightGroup
 
 	// Admission: sem holds MaxInflight tokens; queued counts requests
-	// waiting for one, bounded by QueueDepth.
+	// waiting for one, bounded by QueueDepth. bulk (capacity 1) admits
+	// at most one multi-token acquirer into the token-collection loop at
+	// a time, which is what makes weighted batch admission deadlock-free
+	// (see acquireN).
 	sem    chan struct{}
 	queued atomic.Int64
+	bulk   chan struct{}
 
 	// queryCtx parents every computation context; Shutdown cancels it,
 	// draining in-flight searches via the engines' cancellation support.
@@ -160,6 +181,7 @@ func New(cfg Config, specs ...GraphSpec) (*Server, error) {
 		cache:       newResultCache(cfg.CacheEntries),
 		flight:      newFlightGroup(),
 		sem:         make(chan struct{}, cfg.MaxInflight),
+		bulk:        make(chan struct{}, 1),
 		queryCtx:    ctx,
 		cancelQuery: cancel,
 		snapStop:    make(chan struct{}),
@@ -198,7 +220,7 @@ func New(cfg Config, specs ...GraphSpec) (*Server, error) {
 			cancel()
 			return nil, fmt.Errorf("server: %s: %w", spec.Name, err)
 		}
-		h := &graphHandle{name: spec.Name, g: g, eng: eng}
+		h := &graphHandle{name: spec.Name, g: g, eng: eng, mmap: spec.Mmap}
 		if cfg.SnapshotDir != "" {
 			path := s.snapshotPath(spec.Name)
 			if err := eng.LoadSnapshot(path); err == nil {
@@ -258,16 +280,20 @@ func (s *Server) snapshotLoop() {
 	}
 }
 
-// saveSnapshots persists all engines; failures are logged, never fatal
-// (a serving process must not die because a disk filled up).
-func (s *Server) saveSnapshots() {
+// saveSnapshots persists all engines. Failures are logged per graph and
+// never fatal to the serving process (it must not die because a disk
+// filled up), but they are also aggregated into the return value so
+// Shutdown — and through it dccs-serve's exit path — can report that
+// the final persist was incomplete instead of silently dropping it.
+func (s *Server) saveSnapshots() error {
 	if s.cfg.SnapshotDir == "" {
-		return
+		return nil
 	}
 	if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
 		s.cfg.Logf("server: snapshot dir: %v", err)
-		return
+		return fmt.Errorf("snapshot dir: %w", err)
 	}
+	var errs []error
 	for _, name := range s.names {
 		h := s.graphs[name]
 		if h.eng.Mutable() && h.eng.Version() > 0 {
@@ -278,22 +304,26 @@ func (s *Server) saveSnapshots() {
 			tmp := path + ".tmp"
 			if err := h.eng.Graph().WriteBinaryFile(tmp); err != nil {
 				s.cfg.Logf("server: %s: live graph save: %v", name, err)
+				errs = append(errs, fmt.Errorf("%s: live graph save: %w", name, err))
 				continue
 			}
 			if err := os.Rename(tmp, path); err != nil {
 				os.Remove(tmp)
 				s.cfg.Logf("server: %s: live graph save: %v", name, err)
+				errs = append(errs, fmt.Errorf("%s: live graph save: %w", name, err))
 				continue
 			}
 		}
 		path := s.snapshotPath(name)
 		if err := h.eng.SaveSnapshot(path); err != nil {
 			s.cfg.Logf("server: %s: snapshot save: %v", name, err)
+			errs = append(errs, fmt.Errorf("%s: snapshot save: %w", name, err))
 			continue
 		}
 		s.metrics.snapshotSaves.Add(1)
 		s.cfg.Logf("server: %s: snapshot saved to %s", name, path)
 	}
+	return errors.Join(errs...)
 }
 
 // Shutdown gracefully stops the server's query side: new searches are
@@ -326,7 +356,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	close(s.snapStop)
 	s.snapWG.Wait()
-	s.saveSnapshots()
+	if serr := s.saveSnapshots(); serr != nil {
+		err = errors.Join(err, fmt.Errorf("server: shutdown: final snapshot: %w", serr))
+	}
 	return err
 }
 
@@ -379,14 +411,7 @@ func (s *Server) acquire(ctx context.Context) error {
 		s.metrics.inflight.Add(1)
 		return nil
 	case <-ctx.Done():
-		// ctx parents from the server lifetime context, so its Done
-		// covers both causes; disambiguate for the error and metrics.
-		if s.queryCtx.Err() != nil {
-			s.metrics.rejectedDraining.Add(1)
-			return errDraining
-		}
-		s.metrics.rejectedWaitTimeout.Add(1)
-		return ctx.Err()
+		return s.admissionErr(ctx)
 	}
 }
 
@@ -396,18 +421,132 @@ func (s *Server) release() {
 	<-s.sem
 }
 
+// acquireN admits n computations as one unit — the weighted-admission
+// path for batch requests, which charge their engine fan-out against
+// the same semaphore as single queries instead of bypassing it. Callers
+// must clamp n to MaxInflight (HandleSearchBatch does), or the loop
+// could never finish collecting.
+//
+// Deadlock-freedom: a multi-token acquirer holds the tokens it has
+// while waiting for more — exactly the hold-and-wait a counting
+// semaphore cannot allow from many sides at once. Two guarantees break
+// the cycle: the bulk channel (capacity 1) admits at most one collector
+// at a time, and single-token acquirers never hold-and-wait. So every
+// token the collector is missing is held either free in sem or by a
+// running computation that will release it; no one is waiting on the
+// collector.
+//
+// Queue accounting: a collecting batch occupies one QueueDepth seat
+// regardless of weight, the same unit a waiting single query occupies.
+// When the queue is full (or QueueDepth is 0) a batch that cannot take
+// all n tokens immediately is rejected with errBusy → 429.
+func (s *Server) acquireN(ctx context.Context, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	select {
+	case s.bulk <- struct{}{}:
+	case <-ctx.Done():
+		return s.admissionErr(ctx)
+	}
+	defer func() { <-s.bulk }()
+	got := 0
+	for got < n {
+		select {
+		case s.sem <- struct{}{}:
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got == n {
+		s.metrics.inflight.Add(int64(n))
+		return nil
+	}
+	// Some slots are busy: join the bounded queue as one waiter.
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.drainTokens(got)
+		s.metrics.rejectedQueueFull.Add(1)
+		return errBusy
+	}
+	defer s.queued.Add(-1)
+	for got < n {
+		select {
+		case s.sem <- struct{}{}:
+			got++
+		case <-ctx.Done():
+			s.drainTokens(got)
+			return s.admissionErr(ctx)
+		}
+	}
+	s.metrics.inflight.Add(int64(n))
+	return nil
+}
+
+// admissionErr maps an expired admission wait to the right rejection:
+// ctx parents from the server lifetime context, so its Done covers both
+// shutdown and the computation deadline.
+func (s *Server) admissionErr(ctx context.Context) error {
+	if s.queryCtx.Err() != nil {
+		s.metrics.rejectedDraining.Add(1)
+		return errDraining
+	}
+	s.metrics.rejectedWaitTimeout.Add(1)
+	return ctx.Err()
+}
+
+// drainTokens returns n raw semaphore tokens (not yet counted inflight).
+func (s *Server) drainTokens(n int) {
+	for i := 0; i < n; i++ {
+		<-s.sem
+	}
+}
+
+// releaseN returns the n admission slots acquireN granted.
+func (s *Server) releaseN(n int) {
+	if n <= 0 {
+		return
+	}
+	s.metrics.inflight.Add(int64(-n))
+	s.drainTokens(n)
+}
+
+// Routes lists every route Handler serves, one "METHOD /path" line per
+// endpoint. API.md documents exactly this list — the route-diff test in
+// docs_test.go keeps the contract and the mux in lockstep, so a new
+// endpoint that skips the documentation fails CI.
+func Routes() []string {
+	return []string{
+		"POST /v1/search",
+		"POST /v1/search/batch",
+		"GET /v1/graphs",
+		"POST /v1/graphs/{graph}/edges",
+		"GET /v1/docs",
+		"GET /healthz",
+		"GET /metrics",
+	}
+}
+
 // Handler returns the server's HTTP routes:
 //
 //	POST /v1/search              answer one DCCS query (JSON in, JSON out)
+//	POST /v1/search/batch        answer up to MaxBatchQueries queries in one request
 //	GET  /v1/graphs              list served graphs with stats and engine metrics
 //	POST /v1/graphs/{id}/edges   apply an edge-update batch (mutable graphs)
-//	GET  /healthz                liveness (503 while draining)
+//	GET  /v1/docs                the API contract (API.md) as markdown text
+//	GET  /healthz                liveness (503 while draining) + per-graph status
 //	GET  /metrics                Prometheus text-format counters
+//
+// Keep this list in sync with Routes and API.md.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/search", s.handleSearch)
+	mux.HandleFunc("/v1/search/batch", s.HandleSearchBatch)
 	mux.HandleFunc("/v1/graphs", s.handleGraphs)
 	mux.HandleFunc("POST /v1/graphs/{graph}/edges", s.handleUpdateEdges)
+	mux.HandleFunc("/v1/docs", s.handleDocs)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
