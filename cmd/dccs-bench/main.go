@@ -23,6 +23,16 @@
 //	dccs-bench -batch -out ./out   # one /v1/search/batch vs N sequential cold
 //	                               # searches; mmap vs heap .mlgb open
 //	                               # (writes BENCH_batch.json)
+//	dccs-bench -gauntlet -out ./out        # scale gauntlet: streamed planted-
+//	dccs-bench -gauntlet -quick -out ./out # community graphs, DCCS vs MiMAG
+//	                                       # under matched budgets, scored
+//	                                       # against ground truth; fails unless
+//	                                       # DCCS wins F1 and p50 on every
+//	                                       # dataset (writes BENCH_scale.json)
+//
+// The mode flags (-parallel, -engine, -format, -serve, -dynamic, -core,
+// -batch, -gauntlet) are mutually exclusive; setting more than one is a
+// usage error.
 package main
 
 import (
@@ -47,11 +57,32 @@ func main() {
 	dynamic := flag.Bool("dynamic", false, "run the live-graph update benchmark instead of a figure")
 	coreb := flag.Bool("core", false, "run the core-primitive benchmark (shared multi-d sweep, flat peel) instead of a figure")
 	batch := flag.Bool("batch", false, "run the batch-search and mmap-open benchmark instead of a figure")
+	gauntlet := flag.Bool("gauntlet", false, "run the scale gauntlet (DCCS vs MiMAG on streamed planted graphs) instead of a figure")
 	flag.Parse()
+
+	modes := 0
+	for _, m := range []struct {
+		name string
+		set  bool
+	}{
+		{"-parallel", *parallel}, {"-engine", *engine}, {"-format", *format},
+		{"-serve", *serve}, {"-dynamic", *dynamic}, {"-core", *coreb},
+		{"-batch", *batch}, {"-gauntlet", *gauntlet},
+	} {
+		if m.set {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "dccs-bench: at most one of -parallel, -engine, -format, -serve, -dynamic, -core, -batch, -gauntlet may be set")
+		os.Exit(2)
+	}
 
 	s := &bench.Suite{Scale: *scale, Seed: *seed, Quick: *quick, OutDir: *out, W: os.Stdout}
 	var err error
-	if *batch {
+	if *gauntlet {
+		err = s.RunGauntlet()
+	} else if *batch {
 		err = s.RunBatch()
 	} else if *coreb {
 		err = s.RunCore()

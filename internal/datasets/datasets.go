@@ -74,34 +74,79 @@ type Config struct {
 }
 
 // Generate builds a dataset from the configuration.
+//
+// The generation itself lives in two shared helpers — backgroundLayers
+// and plantCommunity — whose rng consumption order is the contract the
+// out-of-core Stream path replays pass by pass; Generate and Stream
+// therefore produce bit-identical graphs by construction, not by
+// coincidence (pinned by TestStreamMatchesGenerate).
 func Generate(cfg Config) *Dataset {
 	if cfg.N <= 0 || cfg.Layers <= 0 {
 		panic(fmt.Sprintf("datasets: bad dimensions %d x %d", cfg.N, cfg.Layers))
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	cl := newChungLu(cfg)
 	b := multilayer.NewBuilder(cfg.N, cfg.Layers)
 
-	// Chung–Lu weights: w_i ∝ (i+1)^(-1/(γ-1)), scaled so that the
-	// expected degree is AvgDegree.
-	weights := make([]float64, cfg.N)
+	// Background edges, layer by layer, with temporal carry-over.
+	_ = backgroundLayers(cfg, rng, cl, func(layer int, edges [][2]int32) error {
+		for _, e := range edges {
+			b.MustAddEdge(layer, int(e[0]), int(e[1]))
+		}
+		return nil
+	})
+
+	// Planted communities: random vertex groups, random supporting layer
+	// subsets, dense Erdős–Rényi blocks on those layers. The first
+	// cfg.Persistent groups span every layer.
+	ds := &Dataset{Name: cfg.Name}
+	for c := 0; c < cfg.Communities+cfg.Persistent; c++ {
+		pc := plantCommunity(cfg, rng, c < cfg.Persistent)
+		for li, layer := range pc.Layers {
+			for _, e := range pc.perLayer[li] {
+				b.MustAddEdge(layer, int(e[0]), int(e[1]))
+			}
+		}
+		ds.Communities = append(ds.Communities, pc.Community)
+	}
+	ds.Graph = b.Build()
+	return ds
+}
+
+// chungLu is the precomputed Chung–Lu sampling distribution: w_i ∝
+// (i+1)^(-1/(γ-1)), held as a cumulative array so pick is one rng draw
+// plus a binary search. The accumulation order matches the historical
+// inline code exactly, so the float64 cumulative values — and therefore
+// every sampled vertex — are bit-identical to earlier releases.
+type chungLu struct {
+	cum []float64
+	sum float64
+}
+
+func newChungLu(cfg Config) *chungLu {
+	cum := make([]float64, cfg.N)
 	alpha := 1.0 / (cfg.Gamma - 1.0)
 	sum := 0.0
-	for i := range weights {
-		weights[i] = math.Pow(float64(i+1), -alpha)
-		sum += weights[i]
+	for i := range cum {
+		sum += math.Pow(float64(i+1), -alpha)
+		cum[i] = sum
 	}
-	cum := make([]float64, cfg.N)
-	acc := 0.0
-	for i, w := range weights {
-		acc += w
-		cum[i] = acc
-	}
-	pick := func() int {
-		x := rng.Float64() * sum
-		return sort.SearchFloat64s(cum, x)
-	}
+	return &chungLu{cum: cum, sum: sum}
+}
 
-	// Background edges, layer by layer, with temporal carry-over.
+// pick samples one vertex, consuming exactly one rng draw.
+func (cl *chungLu) pick(rng *rand.Rand) int {
+	x := rng.Float64() * cl.sum
+	return sort.SearchFloat64s(cl.cum, x)
+}
+
+// backgroundLayers runs the background model, invoking emit with each
+// layer's complete edge list (temporal carry-over included) in layer
+// order. Emitted slices are reused as the next layer's carry-over
+// source; emit must not retain them past the call. Self-loop draws are
+// consumed but produce no edge, exactly as before, so any two replays
+// from the same seed see identical edge streams.
+func backgroundLayers(cfg Config, rng *rand.Rand, cl *chungLu, emit func(layer int, edges [][2]int32) error) error {
 	targetEdges := int(float64(cfg.N) * cfg.AvgDegree / 2)
 	var prev [][2]int32
 	for layer := 0; layer < cfg.Layers; layer++ {
@@ -114,58 +159,70 @@ func Generate(cfg Config) *Dataset {
 			}
 		}
 		for len(edges) < targetEdges {
-			u, v := pick(), pick()
+			u, v := cl.pick(rng), cl.pick(rng)
 			if u != v {
 				edges = append(edges, [2]int32{int32(u), int32(v)})
 			}
 		}
-		for _, e := range edges {
-			b.MustAddEdge(layer, int(e[0]), int(e[1]))
+		if err := emit(layer, edges); err != nil {
+			return err
 		}
 		prev = edges
 	}
+	return nil
+}
 
-	// Planted communities: random vertex groups, random supporting layer
-	// subsets, dense Erdős–Rényi blocks on those layers. The first
-	// cfg.Persistent groups span every layer.
-	ds := &Dataset{Name: cfg.Name}
-	for c := 0; c < cfg.Communities+cfg.Persistent; c++ {
-		size := cfg.MinSize
-		if cfg.MaxSize > cfg.MinSize {
-			size += rng.Intn(cfg.MaxSize - cfg.MinSize + 1)
-		}
-		support := cfg.MinSupport
-		if cfg.MaxSupport > cfg.MinSupport {
-			support += rng.Intn(cfg.MaxSupport - cfg.MinSupport + 1)
-		}
-		if c < cfg.Persistent || support > cfg.Layers {
-			support = cfg.Layers
-		}
-		members := rng.Perm(cfg.N)[:size]
-		layers := rng.Perm(cfg.Layers)[:support]
-		sort.Ints(members)
-		sort.Ints(layers)
-		// One base edge set, replicated across the supporting layers with
-		// per-layer dropout: coherent structure recurring across layers.
-		var base [][2]int
-		for i := 0; i < size; i++ {
-			for j := i + 1; j < size; j++ {
-				if rng.Float64() < cfg.PIn {
-					base = append(base, [2]int{members[i], members[j]})
-				}
-			}
-		}
-		for _, layer := range layers {
-			for _, e := range base {
-				if rng.Float64() >= cfg.CrossLayerNoise {
-					b.MustAddEdge(layer, e[0], e[1])
-				}
-			}
-		}
-		ds.Communities = append(ds.Communities, Community{Vertices: members, Layers: layers})
+// plantedCommunity is one planted group plus its concrete edge lists:
+// perLayer[i] holds the (dropout-filtered) intra-community edges of
+// supporting layer Community.Layers[i].
+type plantedCommunity struct {
+	Community
+	perLayer [][][2]int32
+}
+
+// plantCommunity draws one community: size, support, members, layers,
+// one base edge set sampled at PIn, then a per-layer dropout pass over
+// the sorted supporting layers. One base edge set replicated across the
+// supporting layers minus dropout — coherent structure recurring across
+// layers.
+func plantCommunity(cfg Config, rng *rand.Rand, persistent bool) plantedCommunity {
+	size := cfg.MinSize
+	if cfg.MaxSize > cfg.MinSize {
+		size += rng.Intn(cfg.MaxSize - cfg.MinSize + 1)
 	}
-	ds.Graph = b.Build()
-	return ds
+	support := cfg.MinSupport
+	if cfg.MaxSupport > cfg.MinSupport {
+		support += rng.Intn(cfg.MaxSupport - cfg.MinSupport + 1)
+	}
+	if persistent || support > cfg.Layers {
+		support = cfg.Layers
+	}
+	members := rng.Perm(cfg.N)[:size]
+	layers := rng.Perm(cfg.Layers)[:support]
+	sort.Ints(members)
+	sort.Ints(layers)
+	var base [][2]int32
+	for i := 0; i < size; i++ {
+		for j := i + 1; j < size; j++ {
+			if rng.Float64() < cfg.PIn {
+				base = append(base, [2]int32{int32(members[i]), int32(members[j])})
+			}
+		}
+	}
+	pc := plantedCommunity{
+		Community: Community{Vertices: members, Layers: layers},
+		perLayer:  make([][][2]int32, len(layers)),
+	}
+	for li := range layers {
+		var es [][2]int32
+		for _, e := range base {
+			if rng.Float64() >= cfg.CrossLayerNoise {
+				es = append(es, e)
+			}
+		}
+		pc.perLayer[li] = es
+	}
+	return pc
 }
 
 // Scale controls how large the synthetic stand-ins for the paper's four

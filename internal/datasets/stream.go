@@ -1,0 +1,168 @@
+package datasets
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/multilayer"
+)
+
+// StreamStats accounts a Stream run: how many bytes it emitted and the
+// high-water mark of its own live buffers. The accounting is structural
+// (sections and slices the generator holds, at their element sizes), not
+// an allocator probe, so it is deterministic; the scale-gauntlet test
+// asserts PeakResidentBytes < EncodedBytes — the streamed path never
+// holds anything close to the whole graph.
+type StreamStats struct {
+	// EncodedBytes is the size of the emitted .mlgb image.
+	EncodedBytes int64
+	// PeakResidentBytes is the high-water mark of the generator's live
+	// buffers: the sampling distribution, the community store, and — one
+	// layer at a time — background edge lists and the layer CSR under
+	// construction.
+	PeakResidentBytes int64
+}
+
+// StreamResult is the output of Stream: the ground truth and accounting
+// for a graph that was written out rather than materialized.
+type StreamResult struct {
+	Name   string
+	N      int
+	Layers int
+	// Communities is the planted ground truth, identical to what
+	// Generate would have returned for the same Config.
+	Communities []Community
+	Stats       StreamStats
+}
+
+// Stream generates the dataset for cfg directly into the .mlgb section
+// layout on w, without ever materializing the whole graph: resident
+// memory peaks at one layer's CSR plus the (small) community store, so
+// the scale gauntlet can emit graphs 10–100x the in-RAM bench sizes and
+// feed them straight to the mmap open path.
+//
+// The byte stream is identical to EncodeBinary(Generate(cfg).Graph).
+// That exactness comes from determinism, not buffering: generation is a
+// fixed sequence of rng draws (see backgroundLayers/plantCommunity), so
+// Stream simply replays it three times from the same seed — once to
+// reach the community draws (whose edges, bucketed per layer, are the
+// only state kept across passes), once to learn each layer's
+// deduplicated neighbor-array length for the header, and once to build
+// and write each layer's CSR through the same Builder code path Generate
+// uses. CPU cost is ~3x one generation; memory stays O(layer).
+func Stream(cfg Config, w io.Writer) (*StreamResult, error) {
+	if cfg.N <= 0 || cfg.Layers <= 0 {
+		return nil, fmt.Errorf("datasets: bad dimensions %d x %d", cfg.N, cfg.Layers)
+	}
+	cl := newChungLu(cfg)
+	res := &StreamResult{Name: cfg.Name, N: cfg.N, Layers: cfg.Layers}
+	acct := &streamAccountant{resident: 8 * int64(len(cl.cum))} // cl.cum, live for all passes
+
+	// Pass A: replay the background draws without keeping their edges,
+	// then plant the communities. Their edges — the only cross-layer
+	// state — are bucketed per layer, in community order, matching the
+	// order Generate feeds the Builder.
+	rngA := rand.New(rand.NewSource(cfg.Seed))
+	_ = backgroundLayers(cfg, rngA, cl, func(_ int, edges [][2]int32) error {
+		acct.observe(8 * int64(len(edges)) * 2) // current layer + carry-over source
+		return nil
+	})
+	commEdges := make([][][2]int32, cfg.Layers)
+	for c := 0; c < cfg.Communities+cfg.Persistent; c++ {
+		pc := plantCommunity(cfg, rngA, c < cfg.Persistent)
+		acct.observe(2 * 8 * int64(cfg.N)) // rng.Perm scratch inside plantCommunity
+		for li, layer := range pc.Layers {
+			commEdges[layer] = append(commEdges[layer], pc.perLayer[li]...)
+			acct.grow(8 * int64(len(pc.perLayer[li])))
+		}
+		acct.grow(8*int64(len(pc.Vertices)) + 8*int64(len(pc.Layers)))
+		res.Communities = append(res.Communities, pc.Community)
+	}
+
+	// Pass B: per-layer deduplicated neighbor lengths for the header.
+	lens := make([]int64, cfg.Layers)
+	rngB := rand.New(rand.NewSource(cfg.Seed))
+	err := backgroundLayers(cfg, rngB, cl, func(layer int, edges [][2]int32) error {
+		_, nbrs, err := buildLayerCSR(cfg.N, edges, commEdges[layer], acct)
+		if err != nil {
+			return err
+		}
+		lens[layer] = int64(len(nbrs))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass C: header, then one CSR section per layer.
+	enc, err := multilayer.NewBinaryStreamEncoder(w, cfg.N, lens)
+	if err != nil {
+		return nil, err
+	}
+	rngC := rand.New(rand.NewSource(cfg.Seed))
+	err = backgroundLayers(cfg, rngC, cl, func(layer int, edges [][2]int32) error {
+		offs, nbrs, err := buildLayerCSR(cfg.N, edges, commEdges[layer], acct)
+		if err != nil {
+			return err
+		}
+		return enc.WriteLayer(offs, nbrs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.Close(); err != nil {
+		return nil, err
+	}
+	res.Stats.EncodedBytes = enc.BytesWritten()
+	res.Stats.PeakResidentBytes = acct.peak
+	return res, nil
+}
+
+// buildLayerCSR assembles one layer's CSR arrays from its background and
+// community edge lists through the same Builder code path Generate's
+// whole-graph build uses — per-layer CSR construction is independent
+// across layers, which is what makes the single-layer build bit-identical
+// to the corresponding layer of the full build.
+func buildLayerCSR(n int, bg, comm [][2]int32, acct *streamAccountant) ([]int64, []int32, error) {
+	b := multilayer.NewBuilder(n, 1)
+	for _, e := range bg {
+		if err := b.AddEdge(0, int(e[0]), int(e[1])); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, e := range comm {
+		if err := b.AddEdge(0, int(e[0]), int(e[1])); err != nil {
+			return nil, nil, err
+		}
+	}
+	g := b.Build()
+	offs, nbrs := g.LayerCSR(0)
+	// Live at the peak of Build: the builder's edge list, the offsets
+	// array, and the pre-dedup scatter array (2 int32 entries per edge).
+	edges := int64(len(bg) + len(comm))
+	acct.observe(8*edges /* builder pairs */ + 8*int64(n+1) /* offsets */ + 8*edges /* scatter */ + 8*int64(len(bg)) /* background list */)
+	return offs, nbrs, nil
+}
+
+// streamAccountant tracks the section accounting behind
+// StreamStats.PeakResidentBytes: resident is the long-lived baseline
+// (sampling distribution + community store), observe folds in a
+// transient high-water candidate.
+type streamAccountant struct {
+	resident int64
+	peak     int64
+}
+
+func (a *streamAccountant) grow(n int64) {
+	a.resident += n
+	if a.resident > a.peak {
+		a.peak = a.resident
+	}
+}
+
+func (a *streamAccountant) observe(transient int64) {
+	if t := a.resident + transient; t > a.peak {
+		a.peak = t
+	}
+}

@@ -1,0 +1,146 @@
+package datasets
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/multilayer"
+)
+
+// streamGrid is the property-test grid: configurations exercising every
+// generator feature (carry-over, persistent communities, dropout, size
+// and support ranges) crossed with seeds.
+func streamGrid() []Config {
+	var cfgs []Config
+	base := []Config{
+		{Name: "tiny", N: 60, Layers: 3, AvgDegree: 2, Gamma: 2.5, Correlation: 0,
+			Communities: 0},
+		{Name: "corr", N: 150, Layers: 4, AvgDegree: 2.5, Gamma: 2.4, Correlation: 0.5,
+			Communities: 3, MinSize: 6, MaxSize: 10, MinSupport: 2, MaxSupport: 3, PIn: 0.9},
+		{Name: "noise", N: 220, Layers: 5, AvgDegree: 1.8, Gamma: 2.3, Correlation: 0.6,
+			Communities: 4, MinSize: 5, MaxSize: 12, MinSupport: 2, MaxSupport: 5, PIn: 0.8,
+			Persistent: 2, CrossLayerNoise: 0.15},
+		{Name: "single-layer", N: 90, Layers: 1, AvgDegree: 3, Gamma: 2.6, Correlation: 0.4,
+			Communities: 2, MinSize: 4, MaxSize: 6, MinSupport: 1, MaxSupport: 1, PIn: 1.0},
+	}
+	for _, cfg := range base {
+		for _, seed := range []int64{1, 7, 42} {
+			c := cfg
+			c.Seed = seed
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
+}
+
+// TestStreamMatchesGenerate pins the tentpole property: the streamed
+// encoding is byte-identical to encoding the materialized graph, and the
+// ground truth matches, across the whole config/seed grid.
+func TestStreamMatchesGenerate(t *testing.T) {
+	for _, cfg := range streamGrid() {
+		t.Run(fmt.Sprintf("%s/seed%d", cfg.Name, cfg.Seed), func(t *testing.T) {
+			ds := Generate(cfg)
+			var want bytes.Buffer
+			if err := ds.Graph.EncodeBinary(&want); err != nil {
+				t.Fatal(err)
+			}
+
+			var got bytes.Buffer
+			res, err := Stream(cfg, &got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("streamed bytes differ from EncodeBinary(Generate(cfg)): %d vs %d bytes",
+					got.Len(), want.Len())
+			}
+			if res.Stats.EncodedBytes != int64(got.Len()) {
+				t.Fatalf("EncodedBytes = %d, wrote %d", res.Stats.EncodedBytes, got.Len())
+			}
+			if !reflect.DeepEqual(res.Communities, ds.Communities) {
+				t.Fatalf("streamed ground truth differs from Generate's")
+			}
+			if res.N != cfg.N || res.Layers != cfg.Layers {
+				t.Fatalf("result dims %dx%d, want %dx%d", res.N, res.Layers, cfg.N, cfg.Layers)
+			}
+		})
+	}
+}
+
+// TestStreamRoundTrips checks a streamed file loads back equal to the
+// materialized graph through both the fully validating heap decoder and
+// the mmap zero-copy path.
+func TestStreamRoundTrips(t *testing.T) {
+	cfg := Config{Name: "rt", N: 300, Layers: 4, Seed: 5, AvgDegree: 2.5, Gamma: 2.4,
+		Correlation: 0.5, Communities: 4, MinSize: 6, MaxSize: 10, MinSupport: 2, MaxSupport: 4,
+		PIn: 0.85, Persistent: 1, CrossLayerNoise: 0.1}
+	path := filepath.Join(t.TempDir(), "rt.mlgb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stream(cfg, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := Generate(cfg).Graph
+
+	heap, err := multilayer.ReadBinaryFile(path)
+	if err != nil {
+		t.Fatalf("heap decode: %v", err)
+	}
+	if !heap.Equal(want) {
+		t.Fatal("heap-decoded streamed graph differs from Generate")
+	}
+
+	mapped, err := multilayer.OpenMapped(path)
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	defer mapped.Close()
+	if err := mapped.Verify(); err != nil {
+		t.Fatalf("mapped Verify: %v", err)
+	}
+	if !mapped.Graph.Equal(want) {
+		t.Fatal("mapped streamed graph differs from Generate")
+	}
+}
+
+// TestStreamResidentBelowGraph is the out-of-core assertion: the section
+// accounting's high-water mark stays below the size of the emitted graph
+// — streamed generation never approaches whole-graph residency.
+func TestStreamResidentBelowGraph(t *testing.T) {
+	cfg := Config{Name: "mem", N: 1500, Layers: 10, Seed: 3, AvgDegree: 6, Gamma: 2.3,
+		Correlation: 0.5, Communities: 8, MinSize: 8, MaxSize: 14, MinSupport: 4, MaxSupport: 8,
+		PIn: 0.9, Persistent: 2, CrossLayerNoise: 0.1}
+	var buf bytes.Buffer
+	res, err := Stream(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PeakResidentBytes <= 0 {
+		t.Fatal("accounting recorded no resident bytes")
+	}
+	if res.Stats.PeakResidentBytes >= res.Stats.EncodedBytes {
+		t.Fatalf("streamed generation peaked at %d resident bytes for a %d-byte graph — not out-of-core",
+			res.Stats.PeakResidentBytes, res.Stats.EncodedBytes)
+	}
+	t.Logf("resident peak %d bytes vs %d-byte graph (%.1f%%)",
+		res.Stats.PeakResidentBytes, res.Stats.EncodedBytes,
+		100*float64(res.Stats.PeakResidentBytes)/float64(res.Stats.EncodedBytes))
+}
+
+// TestStreamRejectsBadDimensions mirrors Generate's panic as an error.
+func TestStreamRejectsBadDimensions(t *testing.T) {
+	for _, cfg := range []Config{{N: 0, Layers: 3}, {N: 10, Layers: 0}, {N: -1, Layers: -1}} {
+		if _, err := Stream(cfg, &bytes.Buffer{}); err == nil {
+			t.Errorf("Stream(%dx%d) did not fail", cfg.N, cfg.Layers)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package mimag
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func cl(vs ...int32) Cluster { return Cluster{Vertices: vs, Layers: []int{0}} }
+
+// TestDiversifyEdgeCases pins the redundancy filter at the extremes of
+// its parameter range.
+func TestDiversifyEdgeCases(t *testing.T) {
+	// Input is pre-sorted largest-first, as diversify's contract assumes
+	// (dropSubsets establishes that order in the real pipeline).
+	in := []Cluster{
+		cl(0, 1, 2, 3),
+		cl(2, 3, 4, 5), // overlaps the first by 2/4
+		cl(6, 7, 8),    // disjoint from everything before it
+	}
+
+	t.Run("r=0", func(t *testing.T) {
+		// Zero tolerance: any covered vertex disqualifies, so only the
+		// disjoint clusters survive.
+		out := diversify(16, in, 0, 0)
+		want := []Cluster{cl(0, 1, 2, 3), cl(6, 7, 8)}
+		if !reflect.DeepEqual(out, want) {
+			t.Fatalf("diversify(r=0) = %v, want %v", out, want)
+		}
+	})
+	t.Run("r=1", func(t *testing.T) {
+		// Full tolerance: overlap can never exceed |Q|, everything is
+		// kept — even an exact duplicate.
+		dup := append(append([]Cluster(nil), in...), cl(0, 1, 2, 3))
+		out := diversify(16, dup, 1, 0)
+		if !reflect.DeepEqual(out, dup) {
+			t.Fatalf("diversify(r=1) dropped clusters: %v", out)
+		}
+	})
+	t.Run("maxResults=0-is-unlimited", func(t *testing.T) {
+		out := diversify(16, in, 0.5, 0)
+		if len(out) != 3 {
+			t.Fatalf("maxResults=0 returned %d clusters, want all 3", len(out))
+		}
+	})
+	t.Run("maxResults=1", func(t *testing.T) {
+		out := diversify(16, in, 1, 1)
+		if !reflect.DeepEqual(out, in[:1]) {
+			t.Fatalf("maxResults=1 = %v, want %v", out, in[:1])
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if out := diversify(16, nil, 0.25, 0); len(out) != 0 {
+			t.Fatalf("diversify(nil) = %v", out)
+		}
+	})
+}
+
+// TestDropSubsetsAllSubsumed: when every smaller cluster is contained in
+// one maximal cluster, only that one survives.
+func TestDropSubsetsAllSubsumed(t *testing.T) {
+	in := []Cluster{
+		cl(1, 2),
+		cl(0, 1, 2, 3, 4),
+		cl(2, 3, 4),
+		cl(0, 4),
+		cl(0, 1, 2, 3, 4), // duplicate of the maximal cluster
+	}
+	out := dropSubsets(in)
+	want := []Cluster{cl(0, 1, 2, 3, 4)}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("dropSubsets = %v, want %v", out, want)
+	}
+
+	// Incomparable sets all survive, largest first.
+	inc := []Cluster{cl(3, 4), cl(0, 1, 2), cl(2, 3)}
+	out = dropSubsets(inc)
+	if len(out) != 3 || len(out[0].Vertices) != 3 {
+		t.Fatalf("dropSubsets(incomparable) = %v", out)
+	}
+}
+
+// TestCoverSize checks the distinct-vertex count over overlapping
+// clusters and the empty result.
+func TestCoverSize(t *testing.T) {
+	r := &Result{Clusters: []Cluster{cl(0, 1, 2, 3), cl(2, 3, 4, 5), cl(5)}}
+	if got := r.CoverSize(10); got != 6 {
+		t.Fatalf("CoverSize = %d, want 6", got)
+	}
+	empty := &Result{}
+	if got := empty.CoverSize(10); got != 0 {
+		t.Fatalf("CoverSize(empty) = %d, want 0", got)
+	}
+}
+
+// TestMineDeterminism: mining the same seeded graph twice under the same
+// node budget yields identical results, field for field (except the
+// wall-clock Elapsed) — including cluster order, which feeds directly
+// into user-visible output.
+func TestMineDeterminism(t *testing.T) {
+	g := testutil.RandomCorrelatedGraph(rand.New(rand.NewSource(99)), 40, 4, 0.3, 0.8, 0.05)
+	opts := Options{Gamma: 0.8, MinSize: 4, S: 2, NodeLimit: 2_000}
+	a, err := Mine(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Elapsed, b.Elapsed = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical Mine runs differ:\n%+v\nvs\n%+v", a, b)
+	}
+	if len(a.Clusters) == 0 {
+		t.Fatal("determinism test mined no clusters — graph or budget too small to be meaningful")
+	}
+}

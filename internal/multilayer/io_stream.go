@@ -1,0 +1,96 @@
+package multilayer
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/leio"
+)
+
+// BinaryStreamEncoder writes a .mlgb image one layer at a time, for
+// producers that never hold the whole graph in memory (the out-of-core
+// dataset generator, datasets.Stream). The format's header carries every
+// layer's neighbor-array length up front, so the per-layer lengths must
+// be known before the first section is written; generators obtain them
+// with a cheap counting pass (deterministic generators simply replay
+// their RNG). Given the same CSR arrays, the byte stream is identical to
+// EncodeBinary's — the property the datasets round-trip tests pin down.
+//
+// Usage: NewBinaryStreamEncoder writes the header, then exactly one
+// WriteLayer call per declared layer in order, then Close.
+type BinaryStreamEncoder struct {
+	lw   *leio.Writer
+	n    int
+	lens []int64
+	next int
+}
+
+// NewBinaryStreamEncoder starts a streamed .mlgb encoding of a graph
+// with n vertices and len(layerLens) layers, where layerLens[i] is the
+// length of layer i's deduplicated neighbor array (each undirected edge
+// counted twice). The header is written immediately.
+func NewBinaryStreamEncoder(w io.Writer, n int, layerLens []int64) (*BinaryStreamEncoder, error) {
+	if n < 0 || n > maxVertices {
+		return nil, fmt.Errorf("multilayer: vertex count %d out of range [0,%d]", n, maxVertices)
+	}
+	if len(layerLens) > maxLayers {
+		return nil, fmt.Errorf("multilayer: %d layers exceeds limit %d", len(layerLens), maxLayers)
+	}
+	for i, ln := range layerLens {
+		if ln < 0 || ln%2 != 0 {
+			return nil, fmt.Errorf("multilayer: layer %d neighbor length %d invalid (must be a non-negative even count)", i, ln)
+		}
+	}
+	lw := leio.NewWriter(w)
+	lw.Raw([]byte(BinaryMagic))
+	lw.U32(binaryVersion)
+	lw.I64(int64(n))
+	lw.I64(int64(len(layerLens)))
+	for _, ln := range layerLens {
+		lw.I64(ln)
+	}
+	if err := lw.Flush(); err != nil {
+		return nil, err
+	}
+	return &BinaryStreamEncoder{lw: lw, n: n, lens: append([]int64(nil), layerLens...)}, nil
+}
+
+// WriteLayer emits the next layer's CSR section. The arrays must satisfy
+// the writer-side invariants of the format (validated here, so a buggy
+// producer fails at write time rather than poisoning readers) and the
+// neighbor length declared to the constructor.
+func (e *BinaryStreamEncoder) WriteLayer(offsets []int64, neighbors []int32) error {
+	if e.next >= len(e.lens) {
+		return fmt.Errorf("multilayer: stream encoder: layer %d beyond declared %d layers", e.next, len(e.lens))
+	}
+	if int64(len(neighbors)) != e.lens[e.next] {
+		return fmt.Errorf("multilayer: stream encoder: layer %d has %d neighbors, header declared %d",
+			e.next, len(neighbors), e.lens[e.next])
+	}
+	if err := validateCSR(e.n, offsets, neighbors); err != nil {
+		return fmt.Errorf("multilayer: stream encoder: layer %d: %w", e.next, err)
+	}
+	e.lw.I64s(offsets)
+	e.lw.I32s(neighbors)
+	e.lw.Pad8()
+	if err := e.lw.Flush(); err != nil {
+		return err
+	}
+	e.next++
+	return nil
+}
+
+// Close finishes the encoding, failing if any declared layer is missing.
+// The underlying writer is flushed but not closed (the encoder does not
+// own it).
+func (e *BinaryStreamEncoder) Close() error {
+	if e.next != len(e.lens) {
+		return fmt.Errorf("multilayer: stream encoder: closed after %d of %d layers", e.next, len(e.lens))
+	}
+	return e.lw.Flush()
+}
+
+// BytesWritten returns the number of bytes emitted so far, header
+// included — the streamed counterpart of len(EncodeBinary output), used
+// by the generator's resident-memory accounting.
+func (e *BinaryStreamEncoder) BytesWritten() int64 { return e.lw.Count() }

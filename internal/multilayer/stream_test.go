@@ -1,0 +1,109 @@
+package multilayer
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// streamTestGraph builds a moderately dense random graph for the
+// encoder equivalence tests.
+func streamTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	const n, layers = 200, 4
+	b := NewBuilder(n, layers)
+	for li := 0; li < layers; li++ {
+		for i := 0; i < 5*n; i++ {
+			b.MustAddEdge(li, rng.Intn(n), (rng.Intn(n-1)+1+i)%n)
+		}
+	}
+	return b.Build()
+}
+
+// TestStreamEncoderMatchesEncodeBinary: feeding a graph's own CSR arrays
+// through the streaming encoder reproduces EncodeBinary byte for byte.
+func TestStreamEncoderMatchesEncodeBinary(t *testing.T) {
+	g := streamTestGraph(t)
+	var want bytes.Buffer
+	if err := g.EncodeBinary(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	lens := make([]int64, g.L())
+	for i := range lens {
+		_, nbrs := g.LayerCSR(i)
+		lens[i] = int64(len(nbrs))
+	}
+	var got bytes.Buffer
+	enc, err := NewBinaryStreamEncoder(&got, g.N(), lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.L(); i++ {
+		offs, nbrs := g.LayerCSR(i)
+		if err := enc.WriteLayer(offs, nbrs); err != nil {
+			t.Fatalf("layer %d: %v", i, err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("streamed image differs from EncodeBinary (%d vs %d bytes)", got.Len(), want.Len())
+	}
+	if enc.BytesWritten() != int64(want.Len()) {
+		t.Fatalf("BytesWritten = %d, want %d", enc.BytesWritten(), want.Len())
+	}
+	back, err := DecodeBinary(got.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Fatal("streamed image does not decode back to the source graph")
+	}
+}
+
+// TestStreamEncoderContract pins the encoder's error surface: bad
+// constructor arguments, length mismatches, extra layers, and premature
+// Close all fail loudly instead of producing a corrupt image.
+func TestStreamEncoderContract(t *testing.T) {
+	var sink bytes.Buffer
+	if _, err := NewBinaryStreamEncoder(&sink, -1, nil); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := NewBinaryStreamEncoder(&sink, 4, []int64{-2}); err == nil {
+		t.Error("negative layer length accepted")
+	}
+	if _, err := NewBinaryStreamEncoder(&sink, 4, []int64{3}); err == nil {
+		t.Error("odd layer length accepted (undirected edges are stored twice)")
+	}
+
+	enc, err := NewBinaryStreamEncoder(&sink, 3, []int64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err == nil {
+		t.Error("Close before all layers written did not fail")
+	}
+	if err := enc.WriteLayer([]int64{0, 0, 0, 0}, nil); err == nil {
+		t.Error("neighbor count mismatch accepted")
+	}
+	if err := enc.WriteLayer([]int64{0, 1, 2, 2}, []int32{3, 0}); err == nil {
+		t.Error("out-of-range neighbor accepted")
+	}
+	if err := enc.WriteLayer([]int64{0, 1, 2, 2}, []int32{1, 0}); err != nil {
+		t.Fatalf("valid layer rejected: %v", err)
+	}
+	if err := enc.WriteLayer([]int64{0, 0, 0, 0}, nil); err == nil {
+		t.Error("layer beyond declared count accepted")
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if g, err := DecodeBinary(sink.Bytes()); err != nil {
+		t.Fatalf("emitted image does not decode: %v", err)
+	} else if g.N() != 3 || g.L() != 1 || g.M(0) != 1 {
+		t.Fatalf("decoded %d vertices, %d layers, %d edges", g.N(), g.L(), g.M(0))
+	}
+}

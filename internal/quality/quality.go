@@ -1,0 +1,90 @@
+// Package quality scores predicted community sets against planted
+// ground truth, the protocol behind the scale gauntlet's DCCS-vs-MiMAG
+// comparison (the paper's Fig 29/32 evaluated with the MIPS
+// protein-complex matching convention): a prediction matches a
+// ground-truth community when their Jaccard similarity reaches a
+// threshold (the gauntlet uses 0.5), precision is the fraction of
+// predictions that match some community, recall the fraction of
+// communities matched by some prediction, and F1 their harmonic mean.
+//
+// The scorer is deliberately algorithm-agnostic: both DCCS cores and
+// MiMAG quasi-cliques reduce to vertex sets before scoring, so the two
+// sides are measured by exactly the same rule.
+package quality
+
+// Report is the outcome of one Score call.
+type Report struct {
+	Predictions  int     `json:"predictions"`
+	Truth        int     `json:"truth"`
+	MatchedPreds int     `json:"matched_predictions"`
+	MatchedTruth int     `json:"matched_truth"`
+	Precision    float64 `json:"precision"`
+	Recall       float64 `json:"recall"`
+	F1           float64 `json:"f1"`
+}
+
+// Jaccard returns |a∩b| / |a∪b| for two sorted, duplicate-free vertex
+// sets. Two empty sets score 0 — an empty prediction never matches
+// anything.
+func Jaccard(a, b []int32) float64 {
+	inter, union := 0, 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+		union++
+	}
+	union += len(a) - i + len(b) - j
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Score matches each prediction against the ground truth under the rule
+// "P matches T iff Jaccard(P, T) ≥ minJaccard". Every slice must be
+// sorted ascending without duplicates. Duplicate predictions each count
+// toward precision independently (a miner that returns the same cluster
+// twice is not penalized, but gains no recall either); a community
+// counts as recalled once no matter how many predictions hit it. With no
+// predictions (or no truth) the respective rate is 0, and F1 is 0
+// whenever precision + recall is.
+func Score(preds, truth [][]int32, minJaccard float64) Report {
+	r := Report{Predictions: len(preds), Truth: len(truth)}
+	truthHit := make([]bool, len(truth))
+	for _, p := range preds {
+		matched := false
+		for ti, tset := range truth {
+			if Jaccard(p, tset) >= minJaccard {
+				matched = true
+				truthHit[ti] = true
+			}
+		}
+		if matched {
+			r.MatchedPreds++
+		}
+	}
+	for _, hit := range truthHit {
+		if hit {
+			r.MatchedTruth++
+		}
+	}
+	if r.Predictions > 0 {
+		r.Precision = float64(r.MatchedPreds) / float64(r.Predictions)
+	}
+	if r.Truth > 0 {
+		r.Recall = float64(r.MatchedTruth) / float64(r.Truth)
+	}
+	if r.Precision+r.Recall > 0 {
+		r.F1 = 2 * r.Precision * r.Recall / (r.Precision + r.Recall)
+	}
+	return r
+}

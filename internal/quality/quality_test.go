@@ -1,0 +1,130 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []int32
+		want float64
+	}{
+		{"identical", []int32{1, 2, 3}, []int32{1, 2, 3}, 1},
+		{"disjoint", []int32{1, 2}, []int32{3, 4}, 0},
+		{"overlap", []int32{1, 2, 3, 4}, []int32{3, 4, 5, 6}, 2.0 / 6.0},
+		{"subset", []int32{1, 2}, []int32{1, 2, 3, 4}, 0.5},
+		{"one-empty", nil, []int32{1}, 0},
+		{"both-empty", nil, nil, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Jaccard(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("Jaccard = %v, want %v", got, tc.want)
+			}
+			if got := Jaccard(tc.b, tc.a); math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("Jaccard (swapped) = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestScore pins the scorer against hand-computed fixtures.
+func TestScore(t *testing.T) {
+	cases := []struct {
+		name  string
+		preds [][]int32
+		truth [][]int32
+		want  Report
+	}{
+		{
+			// One prediction, exactly the one community: everything is 1.
+			name:  "exact-match",
+			preds: [][]int32{{1, 2, 3}},
+			truth: [][]int32{{1, 2, 3}},
+			want: Report{Predictions: 1, Truth: 1, MatchedPreds: 1, MatchedTruth: 1,
+				Precision: 1, Recall: 1, F1: 1},
+		},
+		{
+			// {1,2,3,4} vs {1..6}: J = 4/6 ≥ 0.5, matches.
+			// {1,2} vs {1..6}: J = 2/6 < 0.5, does not.
+			// Precision 1/2, recall 1/1, F1 = 2·(1/2)·1/(3/2) = 2/3.
+			name:  "partial-jaccard",
+			preds: [][]int32{{1, 2, 3, 4}, {1, 2}},
+			truth: [][]int32{{1, 2, 3, 4, 5, 6}},
+			want: Report{Predictions: 2, Truth: 1, MatchedPreds: 1, MatchedTruth: 1,
+				Precision: 0.5, Recall: 1, F1: 2.0 / 3.0},
+		},
+		{
+			// No predictions at all: precision, recall, F1 all 0 — no
+			// division-by-zero NaN.
+			name:  "empty-result",
+			preds: nil,
+			truth: [][]int32{{1, 2, 3}, {4, 5, 6}},
+			want:  Report{Predictions: 0, Truth: 2},
+		},
+		{
+			// Duplicate predictions both match the same community: both
+			// count for precision (P = 2/2 = 1) but the community is
+			// recalled once (R = 1/2). F1 = 2·1·0.5/1.5 = 2/3.
+			name:  "duplicate-clusters",
+			preds: [][]int32{{1, 2, 3}, {1, 2, 3}},
+			truth: [][]int32{{1, 2, 3}, {7, 8, 9}},
+			want: Report{Predictions: 2, Truth: 2, MatchedPreds: 2, MatchedTruth: 1,
+				Precision: 1, Recall: 0.5, F1: 2.0 / 3.0},
+		},
+		{
+			// A wide prediction matching two communities at once: one
+			// matched prediction, two matched communities.
+			name:  "one-pred-two-truths",
+			preds: [][]int32{{1, 2, 3, 4}},
+			truth: [][]int32{{1, 2, 3}, {2, 3, 4}},
+			want: Report{Predictions: 1, Truth: 2, MatchedPreds: 1, MatchedTruth: 2,
+				Precision: 1, Recall: 1, F1: 1},
+		},
+		{
+			// Empty truth with nonempty predictions: recall denominator is
+			// 0, so recall and F1 stay 0.
+			name:  "empty-truth",
+			preds: [][]int32{{1, 2}},
+			truth: nil,
+			want:  Report{Predictions: 1, Truth: 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Score(tc.preds, tc.truth, 0.5)
+			if got.Predictions != tc.want.Predictions || got.Truth != tc.want.Truth ||
+				got.MatchedPreds != tc.want.MatchedPreds || got.MatchedTruth != tc.want.MatchedTruth {
+				t.Fatalf("counts = %+v, want %+v", got, tc.want)
+			}
+			for _, f := range []struct {
+				label      string
+				got, wantV float64
+			}{
+				{"precision", got.Precision, tc.want.Precision},
+				{"recall", got.Recall, tc.want.Recall},
+				{"f1", got.F1, tc.want.F1},
+			} {
+				if math.Abs(f.got-f.wantV) > 1e-12 {
+					t.Fatalf("%s = %v, want %v", f.label, f.got, f.wantV)
+				}
+			}
+		})
+	}
+}
+
+// TestScoreThreshold checks the threshold is inclusive: J exactly at
+// minJaccard matches.
+func TestScoreThreshold(t *testing.T) {
+	// {1,2} vs {1,2,3,4}: J = 0.5 exactly.
+	r := Score([][]int32{{1, 2}}, [][]int32{{1, 2, 3, 4}}, 0.5)
+	if r.MatchedPreds != 1 || r.MatchedTruth != 1 {
+		t.Fatalf("J = 0.5 at threshold 0.5 did not match: %+v", r)
+	}
+	r = Score([][]int32{{1, 2}}, [][]int32{{1, 2, 3, 4}}, 0.51)
+	if r.MatchedPreds != 0 {
+		t.Fatalf("J = 0.5 at threshold 0.51 matched: %+v", r)
+	}
+}
